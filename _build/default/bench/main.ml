@@ -1,0 +1,298 @@
+(* Wall-clock benchmarks, one group per paper table/figure plus
+   microbenchmarks of the primitives. Where Table 2 uses the event-count
+   cost model (bin/main.exe table2), these benches time the actual OCaml
+   implementations, so relative ordering (not absolute ns) is the point. *)
+
+open Bechamel
+open Toolkit
+module Memsim = Giantsan_memsim
+module San = Giantsan_sanitizer.Sanitizer
+module Shadow_mem = Giantsan_shadow.Shadow_mem
+module SC = Giantsan_core.State_code
+module Folding = Giantsan_core.Folding
+module RC = Giantsan_core.Region_check
+module Runner = Giantsan_workload.Runner
+module Traversal = Giantsan_workload.Traversal
+module Specgen = Giantsan_workload.Specgen
+module Profiles = Giantsan_workload.Profiles
+module Instrument = Giantsan_analysis.Instrument
+module Interp = Giantsan_analysis.Interp
+module Juliet = Giantsan_bugs.Juliet
+module Magma = Giantsan_bugs.Magma
+module Harness = Giantsan_bugs.Harness
+
+let config =
+  { Memsim.Heap.arena_size = 1 lsl 20; redzone = 16; quarantine_budget = 64 * 1024 }
+
+(* ------------------------------------------------------------------ *)
+(* Table 1 flavour: region checks, O(1) vs linear                      *)
+(* ------------------------------------------------------------------ *)
+
+let bench_region_check name make_san =
+  Test.make ~name
+    (Staged.stage
+       (let san = make_san config in
+        let obj = san.San.malloc 4096 in
+        let base = obj.Memsim.Memobj.base in
+        fun () -> ignore (san.San.check_region ~lo:base ~hi:(base + 4096))))
+
+let bench_single_access name make_san =
+  Test.make ~name
+    (Staged.stage
+       (let san = make_san config in
+        let obj = san.San.malloc 4096 in
+        let base = obj.Memsim.Memobj.base in
+        fun () -> ignore (san.San.access ~base ~addr:(base + 128) ~width:8)))
+
+let table1_group =
+  Test.make_grouped ~name:"table1"
+    [
+      bench_region_check "giantsan/region-4KiB" Giantsan_core.Gs_runtime.create;
+      bench_region_check "asan/region-4KiB(linear)" Giantsan_asan.Asan_runtime.create;
+      bench_region_check "lfp/region-4KiB" Giantsan_lfp.Lfp_runtime.create;
+      bench_single_access "giantsan/access" Giantsan_core.Gs_runtime.create;
+      bench_single_access "asan/access" Giantsan_asan.Asan_runtime.create;
+      bench_single_access "lfp/access" Giantsan_lfp.Lfp_runtime.create;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Table 2 flavour: one representative profile per sanitizer           *)
+(* ------------------------------------------------------------------ *)
+
+let small_profile =
+  {
+    (Profiles.find "505.mcf_r") with
+    Specgen.p_phases = 4;
+    p_iters = 128;
+    p_obj_size = 300;
+  }
+
+let bench_heap =
+  { Memsim.Heap.arena_size = 1 lsl 18; redzone = 16; quarantine_budget = 16 * 1024 }
+
+let bench_profile config_ =
+  Test.make
+    ~name:(Runner.config_name config_)
+    (Staged.stage (fun () ->
+         ignore (Runner.run_one ~heap:bench_heap small_profile config_)))
+
+let table2_group =
+  Test.make_grouped ~name:"table2"
+    (List.map bench_profile Runner.all_configs)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 10 flavour: instrumentation planning cost                    *)
+(* ------------------------------------------------------------------ *)
+
+let fig10_group =
+  let prog = Specgen.generate small_profile in
+  Test.make_grouped ~name:"fig10"
+    (List.map
+       (fun mode ->
+         Test.make
+           ~name:("plan/" ^ Instrument.mode_name mode)
+           (Staged.stage (fun () -> ignore (Instrument.plan mode prog))))
+       [ Instrument.Asan; Instrument.Asanmm; Instrument.Giantsan ])
+
+(* ------------------------------------------------------------------ *)
+(* Table 3 flavour: Juliet subset per tool                             *)
+(* ------------------------------------------------------------------ *)
+
+let juliet_subset =
+  List.filteri (fun i _ -> i < 60) (Juliet.buggy_cases 122)
+
+let table3_group =
+  Test.make_grouped ~name:"table3"
+    (List.map
+       (fun tool ->
+         Test.make
+           ~name:("cwe122x60/" ^ Harness.tool_name tool)
+           (Staged.stage (fun () ->
+                ignore (Harness.count_detected tool juliet_subset))))
+       Harness.all_tools)
+
+(* ------------------------------------------------------------------ *)
+(* Table 4 flavour: the CVE corpus per tool                            *)
+(* ------------------------------------------------------------------ *)
+
+let table4_group =
+  Test.make_grouped ~name:"table4"
+    (List.map
+       (fun tool ->
+         Test.make
+           ~name:("cves/" ^ Harness.tool_name tool)
+           (Staged.stage (fun () ->
+                List.iter
+                  (fun (c : Giantsan_bugs.Cves.t) ->
+                    ignore (Harness.detected tool c.Giantsan_bugs.Cves.cve_scenario))
+                  Giantsan_bugs.Cves.all)))
+       Harness.all_tools)
+
+(* ------------------------------------------------------------------ *)
+(* Table 5 flavour: scaled php population, rz16 vs rz512               *)
+(* ------------------------------------------------------------------ *)
+
+let php_small =
+  let p = List.hd Magma.projects in
+  {
+    p with
+    Magma.mg_short = p.Magma.mg_short / 40;
+    mg_mid = p.Magma.mg_mid / 40;
+    mg_far = p.Magma.mg_far / 40;
+    mg_latent = p.Magma.mg_latent / 40;
+  }
+
+let table5_group =
+  let cases = Magma.cases php_small in
+  Test.make_grouped ~name:"table5"
+    [
+      Test.make ~name:"php/asan-rz16"
+        (Staged.stage (fun () ->
+             ignore (Harness.count_detected ~redzone:16 Harness.Asan cases)));
+      Test.make ~name:"php/asan-rz512"
+        (Staged.stage (fun () ->
+             ignore (Harness.count_detected ~redzone:512 Harness.Asan cases)));
+      Test.make ~name:"php/giantsan-rz16"
+        (Staged.stage (fun () ->
+             ignore (Harness.count_detected ~redzone:16 Harness.Giantsan cases)));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 11: the traversal patterns, timed for real                   *)
+(* ------------------------------------------------------------------ *)
+
+let fig11_bench name make_san kernel =
+  Test.make ~name
+    (Staged.stage
+       (let san = make_san config in
+        let base = Traversal.prepare san ~size:16384 in
+        fun () -> ignore (kernel san ~base ~size:16384)))
+
+let fig11_group =
+  let forward san ~base ~size = Traversal.forward san ~base ~size in
+  let random san ~base ~size = Traversal.random san ~seed:11 ~base ~size in
+  let reverse san ~base ~size = Traversal.reverse san ~base ~size in
+  let tools =
+    [
+      ("native", fun c -> Giantsan_sanitizer.Native.create c);
+      ("giantsan", fun c -> Giantsan_core.Gs_runtime.create c);
+      ("asan", fun c -> Giantsan_asan.Asan_runtime.create c);
+    ]
+  in
+  Test.make_grouped ~name:"fig11"
+    (List.concat_map
+       (fun (tname, mk) ->
+         [
+           fig11_bench (Printf.sprintf "forward-16KiB/%s" tname) mk forward;
+           fig11_bench (Printf.sprintf "random-16KiB/%s" tname) mk random;
+           fig11_bench (Printf.sprintf "reverse-16KiB/%s" tname) mk reverse;
+         ])
+       tools)
+
+(* ------------------------------------------------------------------ *)
+(* Microbenchmarks of the primitives                                   *)
+(* ------------------------------------------------------------------ *)
+
+let micro_group =
+  let m = Shadow_mem.create ~segments:65536 ~fill:SC.unallocated in
+  Folding.poison_good_run m ~first_seg:0 ~count:60000;
+  Test.make_grouped ~name:"micro"
+    [
+      Test.make ~name:"fold/poison-1000-segments"
+        (Staged.stage (fun () ->
+             Folding.poison_good_run m ~first_seg:0 ~count:1000));
+      Test.make ~name:"fold/ci-fast"
+        (Staged.stage (fun () -> ignore (RC.check m ~l:0 ~r:1024)));
+      Test.make ~name:"fold/ci-slow"
+        (Staged.stage (fun () -> ignore (RC.check m ~l:0 ~r:(8 * 48000))));
+      Test.make ~name:"fold/upper-bound-walk"
+        (Staged.stage (fun () -> ignore (Folding.upper_bound m ~addr:8)));
+      Test.make ~name:"alloc/malloc-free-64B"
+        (Staged.stage
+           (let san = Giantsan_core.Gs_runtime.create config in
+            fun () ->
+              let obj = san.San.malloc 64 in
+              ignore (san.San.free obj.Memsim.Memobj.base)));
+      Test.make ~name:"alloc/asan-malloc-free-64B"
+        (Staged.stage
+           (let san = Giantsan_asan.Asan_runtime.create config in
+            fun () ->
+              let obj = san.San.malloc 64 in
+              ignore (san.San.free obj.Memsim.Memobj.base)));
+      Test.make ~name:"cache/hit"
+        (Staged.stage
+           (let san = Giantsan_core.Gs_runtime.create config in
+            let obj = san.San.malloc 1024 in
+            let cache = san.San.new_cache ~base:obj.Memsim.Memobj.base in
+            ignore (san.San.cached_access cache ~off:1016 ~width:8);
+            fun () -> ignore (san.San.cached_access cache ~off:64 ~width:8)));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Encoding ablation: one region check under each encoding             *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_group =
+  let module Linear = Giantsan_core.Linear_encoding in
+  let segments = 40000 in
+  let size = 262144 in
+  let m_asan =
+    Shadow_mem.create ~segments ~fill:Giantsan_asan.Asan_encoding.unallocated
+  in
+  Shadow_mem.fill_range m_asan ~lo:0 ~hi:(size / 8)
+    Giantsan_asan.Asan_encoding.good;
+  let m_lin = Shadow_mem.create ~segments ~fill:SC.unallocated in
+  Linear.poison_good_run m_lin ~first_seg:0 ~count:(size / 8);
+  let m_fold = Shadow_mem.create ~segments ~fill:SC.unallocated in
+  Folding.poison_good_run m_fold ~first_seg:0 ~count:(size / 8);
+  Test.make_grouped ~name:"ablation"
+    [
+      Test.make ~name:"region-256KiB/asan-encoding"
+        (Staged.stage (fun () ->
+             ignore (Giantsan_asan.Asan_runtime.region_is_safe m_asan ~lo:0 ~hi:size)));
+      Test.make ~name:"region-256KiB/run-length"
+        (Staged.stage (fun () -> ignore (Linear.check m_lin ~l:0 ~r:size)));
+      Test.make ~name:"region-256KiB/binary-folding"
+        (Staged.stage (fun () -> ignore (RC.check m_fold ~l:0 ~r:size)));
+    ]
+
+let groups =
+  [
+    table1_group; table2_group; fig10_group; table3_group; table4_group;
+    table5_group; fig11_group; ablation_group; micro_group;
+  ]
+
+let run_group test =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances test in
+  let results = Analyze.merge ols instances [ Analyze.all ols Instance.monotonic_clock raw ] in
+  let tbl = Hashtbl.find results (Measure.label Instance.monotonic_clock) in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some (x :: _) -> x
+          | _ -> nan
+        in
+        (name, ns) :: acc)
+      tbl []
+  in
+  List.iter
+    (fun (name, ns) -> Printf.printf "  %-44s %12.1f ns/run\n" name ns)
+    (List.sort compare rows)
+
+let () =
+  print_endline "GiantSan reproduction benchmarks (Bechamel)";
+  print_endline "===========================================";
+  List.iter
+    (fun g ->
+      Printf.printf "\n[%s]\n" (Test.name g);
+      run_group g)
+    groups

@@ -1,0 +1,109 @@
+(* giantsan-repro: run the paper's experiments.
+
+   Subcommands: one per table/figure, plus `all`. Each prints its rendered
+   report to stdout and can optionally append to a file. *)
+
+open Cmdliner
+
+let write_out path body =
+  match path with
+  | None -> ()
+  | Some p ->
+    let oc = open_out_gen [ Open_append; Open_creat ] 0o644 p in
+    output_string oc body;
+    output_string oc "\n";
+    close_out oc
+
+let run_ids ids quick out =
+  List.iter
+    (fun id ->
+      let o = Giantsan_report.Experiments.run ~quick id in
+      print_string o.Giantsan_report.Experiments.o_body;
+      print_newline ();
+      write_out out o.Giantsan_report.Experiments.o_body)
+    ids;
+  0
+
+let quick_flag =
+  let doc = "Smaller populations / fewer profiles (smoke-test mode)." in
+  Arg.(value & flag & info [ "quick" ] ~doc)
+
+let out_file =
+  let doc = "Append the rendered report to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let experiment_cmd id title =
+  let doc = Printf.sprintf "Reproduce the paper's %s." title in
+  Cmd.v
+    (Cmd.info id ~doc)
+    Term.(const (fun quick out -> run_ids [ id ] quick out) $ quick_flag $ out_file)
+
+let all_cmd =
+  let doc = "Run every experiment (all tables and figures)." in
+  Cmd.v
+    (Cmd.info "all" ~doc)
+    Term.(
+      const (fun quick out ->
+          run_ids Giantsan_report.Experiments.all_ids quick out)
+      $ quick_flag $ out_file)
+
+let extras_cmd =
+  let doc =
+    "Run the extension experiments (encoding ablation, redzone sweep, \
+     quarantine sweep)."
+  in
+  Cmd.v
+    (Cmd.info "extras" ~doc)
+    Term.(
+      const (fun quick out ->
+          run_ids Giantsan_report.Experiments.extra_ids quick out)
+      $ quick_flag $ out_file)
+
+let fuzz_cmd =
+  let doc =
+    "Differential fuzzing: random scenarios across every tool, reporting \
+     detection matrices and anomalies."
+  in
+  let seed =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Base seed.")
+  in
+  let count =
+    Arg.(
+      value & opt int 100
+      & info [ "count" ] ~docv:"N" ~doc:"Scenarios per population.")
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(
+      const (fun seed count out ->
+          let body = Giantsan_report.Corpus_tools.fuzz ~seed ~count in
+          print_string body;
+          write_out out body;
+          0)
+      $ seed $ count $ out_file)
+
+let validate_cmd =
+  let doc = "Re-validate the ground-truth labels of every generated corpus." in
+  Cmd.v (Cmd.info "validate" ~doc)
+    Term.(
+      const (fun out ->
+          let body = Giantsan_report.Corpus_tools.validate () in
+          print_string body;
+          write_out out body;
+          0)
+      $ out_file)
+
+let () =
+  let info =
+    Cmd.info "giantsan-repro" ~version:"1.0.0"
+      ~doc:
+        "Reproduction of 'GiantSan: Efficient Memory Sanitization with \
+         Segment Folding' (ASPLOS 2024)"
+  in
+  let cmds =
+    all_cmd :: extras_cmd :: fuzz_cmd :: validate_cmd
+    :: List.map
+         (fun id -> experiment_cmd id id)
+         (Giantsan_report.Experiments.all_ids
+         @ Giantsan_report.Experiments.extra_ids)
+  in
+  exit (Cmd.eval' (Cmd.group info cmds))

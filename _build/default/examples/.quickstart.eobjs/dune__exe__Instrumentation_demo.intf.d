@@ -1,0 +1,1 @@
+examples/instrumentation_demo.mli:

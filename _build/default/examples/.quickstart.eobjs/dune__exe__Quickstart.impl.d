@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Giantsan_core Giantsan_memsim Giantsan_sanitizer Printf

@@ -1,0 +1,1 @@
+examples/shadow_explorer.mli:

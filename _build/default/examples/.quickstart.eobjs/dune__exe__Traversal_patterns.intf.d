@@ -1,0 +1,1 @@
+examples/traversal_patterns.mli:

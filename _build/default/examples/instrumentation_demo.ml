@@ -1,0 +1,87 @@
+(* Instrumentation demo: the Figure 8 program through the check-instance
+   pipeline. Prints the program, each tool's plan, and the executed-check
+   counts that make operation-level protection pay off.
+
+   Run with: dune exec examples/instrumentation_demo.exe *)
+
+module Ast = Giantsan_ir.Ast
+module B = Giantsan_ir.Builder
+module Pp = Giantsan_ir.Pp
+module Plan = Giantsan_analysis.Plan
+module Instrument = Giantsan_analysis.Instrument
+module Interp = Giantsan_analysis.Interp
+module Runner = Giantsan_workload.Runner
+module Counters = Giantsan_sanitizer.Counters
+module San = Giantsan_sanitizer.Sanitizer
+
+(* Figure 8a, with concrete allocations so it can run:
+     p[0] = x buffer, p[1] = y buffer
+     for (i = 0; i < N; i++) { j = x[i]; y[j] = i; }
+     memset(x, 0, 4N)                                         *)
+let build n =
+  let b = B.create () in
+  let x_load = B.access b ~base:"p" ~index:(B.i 0) ~scale:8 () in
+  let y_load = B.access b ~base:"p" ~index:(B.i 1) ~scale:8 () in
+  let xi = B.access b ~base:"x" ~index:(B.v "i") ~scale:4 () in
+  let yj = B.access b ~base:"y" ~index:(B.v "j") ~scale:4 () in
+  let prog =
+    B.program "figure8"
+      [
+        B.assign "N" (B.i n);
+        B.malloc "p" (B.i 16);
+        B.malloc "xbuf" (B.i (4 * n));
+        B.malloc "ybuf" (B.i (4 * n));
+        B.store b ~base:"p" ~index:(B.i 0) ~scale:8 ~value:(B.v "xbuf") ();
+        B.store b ~base:"p" ~index:(B.i 1) ~scale:8 ~value:(B.v "ybuf") ();
+        (* x[i] will hold in-bounds indices for y *)
+        B.for_ b ~idx:"i" ~lo:(B.i 0) ~hi:(B.v "N")
+          [
+            B.store b ~base:"xbuf" ~index:(B.v "i") ~scale:4
+              ~value:B.(v "i" % i n) ();
+          ];
+        B.assign "x" (Ast.Load x_load);
+        B.assign "y" (Ast.Load y_load);
+        B.for_ b ~idx:"i" ~lo:(B.i 0) ~hi:(B.v "N")
+          [ B.assign "j" (Ast.Load xi); Ast.Store (yj, B.v "i") ];
+        B.memset b ~dst:"x" ~doff:(B.i 0) ~len:B.(i 4 * v "N") ~value:(B.i 0);
+      ]
+  in
+  (prog, [ ("p[0]", x_load); ("p[1]", y_load); ("x[i]", xi); ("y[j]", yj) ])
+
+let decision_name = function
+  | Plan.Plain -> "plain check"
+  | Plan.Cached -> "history-cached"
+  | Plan.Eliminated -> "eliminated (covered by a merged/promoted check)"
+
+let () =
+  let n = 1000 in
+  let prog, accesses = build n in
+  print_endline "== The program (Figure 8a) ==\n";
+  print_string (Pp.program_to_string prog);
+
+  List.iter
+    (fun mode ->
+      let plan = Instrument.plan mode prog in
+      Printf.printf "\n== %s plan ==\n" (Instrument.mode_name mode);
+      List.iter
+        (fun (label, (acc : Ast.access)) ->
+          Printf.printf "  %-6s -> %s\n" label
+            (decision_name (Plan.decision_of plan acc.Ast.acc_id)))
+        accesses)
+    [ Instrument.Asan; Instrument.Asanmm; Instrument.Giantsan ];
+
+  print_endline "\n== Executed checks (N = 1000) ==\n";
+  List.iter
+    (fun config ->
+      let san = Runner.make_sanitizer config in
+      let plan = Instrument.plan (Runner.instrument_mode config) prog in
+      let out = Interp.run san plan prog in
+      assert (out.Interp.reports = []);
+      Printf.printf "  %-10s checks executed: %6d   metadata loads: %6d\n"
+        (Runner.config_name config)
+        (Counters.total_checks san.San.counters)
+        (san.San.shadow_loads ()))
+    [ Runner.Asan; Runner.Asanmm; Runner.Giantsan ];
+  print_endline
+    "\nThe paper's claim in miniature: 2 checks + N cached hits instead of\n\
+     2 + 3N instruction-level checks."

@@ -1,0 +1,62 @@
+(* Traversal patterns (the §5.4 limitation study): forward, random and
+   reverse scans under Native / GiantSan / ASan, reporting metadata loads
+   — the quantity wall-clock differences in Figure 11 derive from.
+
+   Run with: dune exec examples/traversal_patterns.exe *)
+
+module Runner = Giantsan_workload.Runner
+module Traversal = Giantsan_workload.Traversal
+module Table = Giantsan_util.Table
+
+let tools =
+  [
+    ("Native", Runner.Native); ("GiantSan", Runner.Giantsan); ("ASan", Runner.Asan);
+  ]
+
+let patterns =
+  [
+    ("forward", fun san ~base ~size -> Traversal.forward san ~base ~size);
+    ("random", fun san ~base ~size -> Traversal.random san ~seed:3 ~base ~size);
+    ("reverse", fun san ~base ~size -> Traversal.reverse san ~base ~size);
+  ]
+
+let () =
+  print_endline "== Metadata loads per full traversal of a 16 KiB buffer ==\n";
+  let size = 16 * 1024 in
+  let rows =
+    List.map
+      (fun (pname, kernel) ->
+        pname
+        :: List.map
+             (fun (_, config) ->
+               let san = Runner.make_sanitizer config in
+               let base = Traversal.prepare san ~size in
+               let r = kernel san ~base ~size in
+               assert (r.Traversal.t_reports = 0);
+               string_of_int r.Traversal.t_shadow_loads)
+             tools)
+      patterns
+  in
+  Table.print ([ "pattern"; "Native"; "GiantSan"; "ASan" ] :: rows);
+  Printf.printf
+    "\n%d words are traversed each time. Forward/random scans converge to\n\
+     the object bound in O(log n) quasi-bound updates; the reverse scan\n\
+     sits below its anchor, where the single-sided summary cannot help —\n\
+     one underflow region check (and its loads) per access, the paper's\n\
+     documented weak spot (Figure 11c).\n"
+    (size / 8);
+
+  (* the §5.4 mitigation sketch: locating the bound once via the folded
+     segments (Figure 7), then checking the whole span up front *)
+  print_endline "== Mitigation: pre-locating the object end (Figure 7) ==\n";
+  let san = Runner.make_sanitizer Runner.Giantsan in
+  let base = Traversal.prepare san ~size in
+  let module San = Giantsan_sanitizer.Sanitizer in
+  let loads0 = san.San.shadow_loads () in
+  (match san.San.check_region ~lo:base ~hi:(base + size) with
+  | None -> ()
+  | Some r -> print_endline (Giantsan_sanitizer.Report.to_string r));
+  Printf.printf
+    "one region check over the whole buffer costs %d loads; a reverse scan\n\
+     inside that verified span then needs no further metadata at all.\n"
+    (san.San.shadow_loads () - loads0)

@@ -1,0 +1,1 @@
+lib/analysis/affine.ml: Giantsan_ir List Option

@@ -1,0 +1,1 @@
+lib/analysis/instrument.ml: Affine Giantsan_ir Hashtbl List Option Plan

@@ -1,0 +1,1 @@
+lib/analysis/instrument.mli: Giantsan_ir Plan

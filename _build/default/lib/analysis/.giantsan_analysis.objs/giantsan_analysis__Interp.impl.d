@@ -1,0 +1,1 @@
+lib/analysis/interp.ml: Giantsan_ir Giantsan_memsim Giantsan_sanitizer Hashtbl List Plan

@@ -1,0 +1,1 @@
+lib/analysis/interp.mli: Giantsan_ir Giantsan_sanitizer Plan

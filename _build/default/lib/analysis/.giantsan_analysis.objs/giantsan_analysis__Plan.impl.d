@@ -1,0 +1,1 @@
+lib/analysis/plan.ml: Giantsan_ir Hashtbl List

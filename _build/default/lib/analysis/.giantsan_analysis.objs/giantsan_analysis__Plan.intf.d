@@ -1,0 +1,1 @@
+lib/analysis/plan.mli: Giantsan_ir Hashtbl

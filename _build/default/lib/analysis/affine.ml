@@ -1,0 +1,113 @@
+module Ast = Giantsan_ir.Ast
+
+type linear = { coeff : int; rest : Ast.expr }
+
+let rec const_eval (e : Ast.expr) =
+  match e with
+  | Ast.Int n -> Some n
+  | Ast.Var _ | Ast.Load _ -> None
+  | Ast.Bin (op, a, b) -> (
+    match (const_eval a, const_eval b) with
+    | Some x, Some y -> (
+      match op with
+      | Ast.Add -> Some (x + y)
+      | Ast.Sub -> Some (x - y)
+      | Ast.Mul -> Some (x * y)
+      | Ast.Div -> if y = 0 then None else Some (x / y)
+      | Ast.Rem -> if y = 0 then None else Some (x mod y))
+    | _ -> None)
+  | Ast.Cmp (op, a, b) -> (
+    match (const_eval a, const_eval b) with
+    | Some x, Some y ->
+      let r =
+        match op with
+        | Ast.Lt -> x < y
+        | Ast.Le -> x <= y
+        | Ast.Gt -> x > y
+        | Ast.Ge -> x >= y
+        | Ast.Eq -> x = y
+        | Ast.Ne -> x <> y
+      in
+      Some (if r then 1 else 0)
+    | _ -> None)
+
+let rec simplify (e : Ast.expr) =
+  match const_eval e with
+  | Some n -> Ast.Int n
+  | None -> (
+    match e with
+    | Ast.Bin (op, a, b) -> (
+      let a = simplify a and b = simplify b in
+      match (op, a, b) with
+      | Ast.Add, Ast.Int 0, x | Ast.Add, x, Ast.Int 0 -> x
+      | Ast.Sub, x, Ast.Int 0 -> x
+      | Ast.Mul, Ast.Int 1, x | Ast.Mul, x, Ast.Int 1 -> x
+      | Ast.Mul, Ast.Int 0, _ | Ast.Mul, _, Ast.Int 0 -> Ast.Int 0
+      | _ -> Ast.Bin (op, a, b))
+    | Ast.Cmp (op, a, b) -> Ast.Cmp (op, simplify a, simplify b)
+    | Ast.Int _ | Ast.Var _ | Ast.Load _ -> e)
+
+let rec mentions_idx idx (e : Ast.expr) =
+  match e with
+  | Ast.Int _ -> false
+  | Ast.Var v -> v = idx
+  | Ast.Bin (_, a, b) | Ast.Cmp (_, a, b) ->
+    mentions_idx idx a || mentions_idx idx b
+  | Ast.Load acc -> acc.Ast.base = idx || mentions_idx idx acc.Ast.index
+
+let rec linearize ~idx (e : Ast.expr) =
+  match e with
+  | Ast.Int n -> Some { coeff = 0; rest = Ast.Int n }
+  | Ast.Var v ->
+    if v = idx then Some { coeff = 1; rest = Ast.Int 0 }
+    else Some { coeff = 0; rest = Ast.Var v }
+  | Ast.Load _ -> None
+  | Ast.Cmp _ -> if mentions_idx idx e then None else Some { coeff = 0; rest = e }
+  | Ast.Bin (Ast.Add, a, b) ->
+    Option.bind (linearize ~idx a) (fun la ->
+        Option.map
+          (fun lb ->
+            {
+              coeff = la.coeff + lb.coeff;
+              rest = Ast.Bin (Ast.Add, la.rest, lb.rest);
+            })
+          (linearize ~idx b))
+  | Ast.Bin (Ast.Sub, a, b) ->
+    Option.bind (linearize ~idx a) (fun la ->
+        Option.map
+          (fun lb ->
+            {
+              coeff = la.coeff - lb.coeff;
+              rest = Ast.Bin (Ast.Sub, la.rest, lb.rest);
+            })
+          (linearize ~idx b))
+  | Ast.Bin (Ast.Mul, a, b) -> (
+    match (linearize ~idx a, linearize ~idx b) with
+    | Some la, Some lb -> (
+      match (const_eval la.rest, const_eval lb.rest) with
+      | Some ka, _ when la.coeff = 0 ->
+        Some { coeff = ka * lb.coeff; rest = Ast.Bin (Ast.Mul, Ast.Int ka, lb.rest) }
+      | _, Some kb when lb.coeff = 0 ->
+        Some { coeff = la.coeff * kb; rest = Ast.Bin (Ast.Mul, la.rest, Ast.Int kb) }
+      | _ ->
+        if la.coeff = 0 && lb.coeff = 0 then
+          Some { coeff = 0; rest = Ast.Bin (Ast.Mul, la.rest, lb.rest) }
+        else None)
+    | _ -> None)
+  | Ast.Bin ((Ast.Div | Ast.Rem), _, _) ->
+    if mentions_idx idx e then None else Some { coeff = 0; rest = e }
+
+let is_invariant ~assigned (e : Ast.expr) =
+  (not (Ast.expr_has_load e))
+  && List.for_all (fun v -> not (List.mem v assigned)) (Ast.expr_vars e)
+
+let byte_offset ~idx (acc : Ast.access) =
+  Option.map
+    (fun { coeff; rest } ->
+      ( coeff * acc.Ast.scale,
+        simplify
+          (Ast.Bin
+             ( Ast.Add,
+               Ast.Bin (Ast.Mul, rest, Ast.Int acc.Ast.scale),
+               Ast.Int acc.Ast.disp )) ))
+    (linearize ~idx acc.Ast.index)

@@ -1,0 +1,35 @@
+(** SCEV-lite: linear-form analysis of index expressions.
+
+    The real GiantSan runs LLVM's scalar-evolution analysis to recognise
+    bounded loops and affine subscripts (§4.4.2, "Check-in-Loop Promotion").
+    This module provides the equivalent on the mini IR: it rewrites an
+    expression as [coeff * idx + rest] where [rest] does not mention the
+    loop index, or reports that no such form exists. *)
+
+type linear = {
+  coeff : int;  (** multiplier of the loop index *)
+  rest : Giantsan_ir.Ast.expr;  (** index-free remainder *)
+}
+
+val const_eval : Giantsan_ir.Ast.expr -> int option
+(** Constant folding; [None] if the expression mentions variables or
+    memory. *)
+
+val linearize : idx:string -> Giantsan_ir.Ast.expr -> linear option
+(** [linearize ~idx e] writes [e] as [coeff * idx + rest] when possible.
+    Expressions containing loads, or the index under a non-linear operator
+    ([*] by a non-constant, [/], [%], comparisons), yield [None]. *)
+
+val is_invariant : assigned:string list -> Giantsan_ir.Ast.expr -> bool
+(** Is the expression loop-invariant: free of loads and of any variable in
+    [assigned] (the variables the loop body may write)? *)
+
+val byte_offset :
+  idx:string -> Giantsan_ir.Ast.access -> (int * Giantsan_ir.Ast.expr) option
+(** Byte offset of the access relative to its base pointer, as
+    [coeff_bytes * idx + rest_bytes]: [(coeff * scale, rest * scale + disp)].
+    [None] if the subscript is not linear in [idx]. *)
+
+val simplify : Giantsan_ir.Ast.expr -> Giantsan_ir.Ast.expr
+(** Light algebraic cleanup (constant folding, [x + 0], [1 * x], ...) so
+    generated pre-check bounds stay readable. *)

@@ -1,0 +1,33 @@
+(** Check-instance generation (§4.4): turn a program into an instrumentation
+    plan for a given tool.
+
+    The pipeline mirrors Figure 8: first every access conceptually gets an
+    instruction-level check, then static analysis upgrades or removes them:
+
+    - {b aliased-check merging}: const-offset accesses off the same pointer
+      in straight-line code become one span check — [p\[0\]] and [p\[1\]]
+      collapse to [CI(p, p+16)] (GiantSan; ASan-- can only drop exact
+      duplicates since its checks are instruction-level);
+    - {b check-in-loop promotion}: a counted loop with an affine subscript
+      and invariant bounds gets one preheader region check covering the
+      whole footprint — the [CI(x, x+4N)] of Figure 8c (ASan-- can only
+      hoist loop-invariant addresses);
+    - {b history caching}: everything in a loop that cannot be promoted
+      (unbounded loop, data-dependent subscript) is routed through the
+      quasi-bound cache when the tool has one;
+    - the rest stays a plain per-access check. *)
+
+type mode =
+  | Native  (** no checks (the overhead baseline) *)
+  | Asan  (** instruction-level checks everywhere *)
+  | Asanmm  (** ASan--: ASan minus statically redundant checks *)
+  | Lfp
+      (** pointer-derived bounds checks at every access; the plan passes the
+          base pointer through (LFP needs to know which pointer the bounds
+          derive from) but no static optimization applies *)
+  | Giantsan  (** merging + promotion + caching + anchors *)
+  | Giantsan_cache_only  (** ablation: caching, no merging/promotion *)
+  | Giantsan_elim_only  (** ablation: merging/promotion, no caching *)
+
+val mode_name : mode -> string
+val plan : mode -> Giantsan_ir.Ast.program -> Plan.t

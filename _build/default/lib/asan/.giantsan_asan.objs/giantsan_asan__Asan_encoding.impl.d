@@ -1,0 +1,1 @@
+lib/asan/asan_encoding.ml: Giantsan_memsim Giantsan_shadow

@@ -1,0 +1,1 @@
+lib/asan/asan_runtime.ml: Asan_encoding Giantsan_memsim Giantsan_sanitizer Giantsan_shadow List

@@ -1,0 +1,1 @@
+lib/asan/asan_runtime.mli: Giantsan_memsim Giantsan_sanitizer Giantsan_shadow

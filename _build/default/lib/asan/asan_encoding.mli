@@ -1,0 +1,47 @@
+(** ASan's shadow encoding (§2.2, Example 1, and Figure 1).
+
+    One signed shadow byte per 8-byte segment:
+    - [0]: all 8 bytes addressable ("good");
+    - [k] with [1 <= k <= 7]: only the first [k] bytes addressable
+      ("k-partial");
+    - negative (as signed int8): non-addressable, the value recording *why*
+      (heap redzone, freed, stack redzone, ...). *)
+
+val good : int
+val partial : int -> int
+(** [partial k] for [1 <= k <= 7]. *)
+
+(** The error codes follow the real ASan runtime's magic values (0xfa heap
+    redzone, 0xfd freed, 0xf1 stack redzone, 0xf9 global redzone, 0xfe
+    unallocated/fill). Stored as unsigned bytes; [decode_signed] recovers
+    the signed reading. *)
+
+val heap_redzone : int
+
+val freed : int
+val stack_redzone : int
+val global_redzone : int
+val unallocated : int
+
+val decode_signed : int -> int
+(** Unsigned shadow byte (0..255) to its signed int8 reading. *)
+
+val is_error_code : int -> bool
+(** Is the (unsigned) byte one of the negative error codes? *)
+
+val addressable_in_segment : int -> int
+(** How many leading bytes of the segment the (unsigned) state makes
+    addressable: 8 for good, [k] for k-partial, 0 for error codes. *)
+
+val redzone_code : Giantsan_memsim.Memobj.kind -> int
+(** Redzone error code matching the object kind. *)
+
+val poison_alloc : Giantsan_shadow.Shadow_mem.t -> Giantsan_memsim.Memobj.t -> unit
+(** Write the shadow for a fresh allocation: redzones, good segments, and
+    the trailing partial segment. *)
+
+val poison_free : Giantsan_shadow.Shadow_mem.t -> Giantsan_memsim.Memobj.t -> unit
+(** Mark the object's segments freed (redzones stay redzones). *)
+
+val poison_evict : Giantsan_shadow.Shadow_mem.t -> Giantsan_memsim.Memobj.t -> unit
+(** Reset the whole block to [unallocated] once it leaves quarantine. *)

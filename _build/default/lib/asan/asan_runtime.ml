@@ -1,0 +1,107 @@
+module Memsim = Giantsan_memsim
+module Shadow_mem = Giantsan_shadow.Shadow_mem
+module San = Giantsan_sanitizer.Sanitizer
+module Counters = Giantsan_sanitizer.Counters
+module Report = Giantsan_sanitizer.Report
+module E = Asan_encoding
+
+(* Example 1 (§2.2): one shadow load, one compare. *)
+let check_access m ~addr ~width =
+  assert (width >= 1 && width <= 8);
+  let v = E.decode_signed (Shadow_mem.load m (addr / 8)) in
+  not (v <> 0 && (addr land 7) + width > v)
+
+let region_is_safe m ~lo ~hi =
+  if hi <= lo then None
+  else begin
+    let first_seg = lo / 8 and last_seg = (hi - 1) / 8 in
+    let bad = ref None in
+    let seg = ref first_seg in
+    while !bad = None && !seg <= last_seg do
+      let v = Shadow_mem.load m !seg in
+      let ok_upto = E.addressable_in_segment v in
+      let seg_base = !seg * 8 in
+      let want_from = max lo seg_base and want_to = min hi (seg_base + 8) in
+      if want_to - seg_base > ok_upto then
+        bad := Some (max want_from (seg_base + ok_upto));
+      incr seg
+    done;
+    !bad
+  end
+
+let create_exposed_named name config =
+  let heap = Memsim.Heap.create config in
+  let m = Shadow_mem.of_heap heap ~fill:E.unallocated in
+  let counters = Counters.create () in
+  let report ?base ~addr ~size () =
+    counters.Counters.errors <- counters.Counters.errors + 1;
+    Some
+      (Report.make
+         ~kind:(Report.classify_access heap ~addr ~base)
+         ~addr ~size ~detected_by:name)
+  in
+  let malloc ?kind size =
+    counters.Counters.mallocs <- counters.Counters.mallocs + 1;
+    let obj = Memsim.Heap.malloc heap ?kind size in
+    E.poison_alloc m obj;
+    counters.Counters.poison_segments <-
+      counters.Counters.poison_segments + (obj.Memsim.Memobj.block_len / 8);
+    obj
+  in
+  let free ptr =
+    counters.Counters.frees <- counters.Counters.frees + 1;
+    match Memsim.Heap.free heap ptr with
+    | Ok { freed; evicted } ->
+      E.poison_free m freed;
+      List.iter (E.poison_evict m) evicted;
+      None
+    | Error err ->
+      let r = San.free_error_report ~name ~addr:ptr err in
+      if r <> None then counters.Counters.errors <- counters.Counters.errors + 1;
+      r
+  in
+  let access ~base ~addr ~width =
+    (* ASan ignores the anchor: instruction-level protection only. *)
+    ignore base;
+    if width <= 8 then begin
+      counters.Counters.instr_checks <- counters.Counters.instr_checks + 1;
+      if check_access m ~addr ~width then None
+      else report ~addr ~size:width ()
+    end
+    else begin
+      counters.Counters.region_checks <- counters.Counters.region_checks + 1;
+      match region_is_safe m ~lo:addr ~hi:(addr + width) with
+      | None -> None
+      | Some bad -> report ~addr:bad ~size:width ()
+    end
+  in
+  let check_region ~lo ~hi =
+    counters.Counters.region_checks <- counters.Counters.region_checks + 1;
+    match region_is_safe m ~lo ~hi with
+    | None -> None
+    | Some bad -> report ~base:lo ~addr:bad ~size:(hi - lo) ()
+  in
+  ( {
+    San.name;
+    heap;
+    counters;
+    shadow_loads = (fun () -> Shadow_mem.loads m);
+    malloc;
+    free;
+    access;
+    check_region;
+    new_cache = (fun ~base -> { San.cache_base = base; cache_ub = 0 });
+    cached_access =
+      (fun cache ~off ~width ->
+        (* No history caching in ASan: every iteration pays a fresh
+           instruction-level check. *)
+        access ~base:cache.San.cache_base
+          ~addr:(cache.San.cache_base + off) ~width);
+    flush_cache = (fun _ -> None);
+    supports_operation_level = false;
+  },
+    m )
+
+let create_named name config = fst (create_exposed_named name config)
+let create config = create_named "ASan" config
+let create_exposed config = create_exposed_named "ASan" config

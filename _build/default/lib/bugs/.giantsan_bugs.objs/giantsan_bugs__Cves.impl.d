@@ -1,0 +1,1 @@
+lib/bugs/cves.ml: Giantsan_memsim List Printf Scenario

@@ -1,0 +1,1 @@
+lib/bugs/cves.mli: Scenario

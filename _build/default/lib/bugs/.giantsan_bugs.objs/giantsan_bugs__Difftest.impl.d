@@ -1,0 +1,1 @@
+lib/bugs/difftest.ml: Array Giantsan_memsim Giantsan_util List Printf Scenario

@@ -1,0 +1,1 @@
+lib/bugs/difftest.mli: Scenario

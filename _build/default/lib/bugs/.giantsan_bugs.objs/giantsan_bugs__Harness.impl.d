@@ -1,0 +1,1 @@
+lib/bugs/harness.ml: Giantsan_asan Giantsan_core Giantsan_lfp Giantsan_memsim List Scenario

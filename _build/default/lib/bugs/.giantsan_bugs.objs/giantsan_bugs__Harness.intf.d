@@ -1,0 +1,1 @@
+lib/bugs/harness.mli: Giantsan_sanitizer Scenario

@@ -1,0 +1,1 @@
+lib/bugs/juliet.ml: Array Giantsan_memsim List Printf Scenario

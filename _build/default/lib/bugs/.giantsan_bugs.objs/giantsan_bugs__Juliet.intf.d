@@ -1,0 +1,1 @@
+lib/bugs/juliet.mli: Scenario

@@ -1,0 +1,1 @@
+lib/bugs/magma.ml: Giantsan_memsim List Printf Scenario

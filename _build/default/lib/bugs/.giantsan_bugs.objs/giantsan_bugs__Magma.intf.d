@@ -1,0 +1,1 @@
+lib/bugs/magma.mli: Scenario

@@ -1,0 +1,1 @@
+lib/bugs/scenario.ml: Giantsan_memsim Giantsan_sanitizer Hashtbl List Printf

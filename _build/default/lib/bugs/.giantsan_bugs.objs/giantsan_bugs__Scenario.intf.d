@@ -1,0 +1,1 @@
+lib/bugs/scenario.mli: Giantsan_memsim Giantsan_sanitizer

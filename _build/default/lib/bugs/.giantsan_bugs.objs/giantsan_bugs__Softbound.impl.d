@@ -1,0 +1,1 @@
+lib/bugs/softbound.ml: Hashtbl List Scenario

@@ -1,0 +1,1 @@
+lib/bugs/softbound.mli: Scenario

@@ -1,0 +1,108 @@
+module Memobj = Giantsan_memsim.Memobj
+
+type t = {
+  cve_program : string;
+  cve_id : string;
+  cve_class : string;
+  cve_scenario : Scenario.t;
+}
+
+let heap_overflow ~id ~size ~dist =
+  {
+    Scenario.sc_id = id;
+    sc_cwe = 0;
+    sc_buggy = true;
+    sc_steps =
+      [
+        Scenario.Alloc { slot = 0; size; kind = Memobj.Heap };
+        Scenario.Access { slot = 0; off = size + dist - 1; width = 1 };
+      ];
+  }
+
+let stack_overflow ~id ~size ~dist =
+  {
+    Scenario.sc_id = id;
+    sc_cwe = 0;
+    sc_buggy = true;
+    sc_steps =
+      [
+        Scenario.Alloc { slot = 0; size; kind = Memobj.Stack };
+        Scenario.Access { slot = 0; off = size + dist - 1; width = 1 };
+      ];
+  }
+
+let heap_overread ~id ~size ~dist =
+  {
+    Scenario.sc_id = id;
+    sc_cwe = 0;
+    sc_buggy = true;
+    sc_steps =
+      [
+        Scenario.Alloc { slot = 0; size; kind = Memobj.Heap };
+        Scenario.Access_loop
+          { slot = 0; from_ = 0; to_ = size + dist; step = 1; width = 1 };
+      ];
+  }
+
+let heap_underflow ~id ~size ~dist =
+  {
+    Scenario.sc_id = id;
+    sc_cwe = 0;
+    sc_buggy = true;
+    sc_steps =
+      [
+        Scenario.Alloc { slot = 0; size; kind = Memobj.Heap };
+        Scenario.Access { slot = 0; off = -dist; width = 1 };
+      ];
+  }
+
+let mk program id class_ scenario =
+  { cve_program = program; cve_id = id; cve_class = class_; cve_scenario = scenario }
+
+let all =
+  [
+    (* heap overflow landing inside the 640-byte class of a 600-byte
+       buffer: the first LFP miss in Table 4 *)
+    mk "libzip" "CVE-2017-12858" "heap overflow (slack)"
+      (heap_overflow ~id:"CVE-2017-12858" ~size:600 ~dist:10);
+    mk "autotrace" "CVE-2017-9164" "heap overread"
+      (heap_overread ~id:"CVE-2017-9164" ~size:100 ~dist:40);
+    (* stack buffer below LFP's protection threshold: its second miss *)
+    mk "autotrace" "CVE-2017-9165" "stack overflow (unprotected alloca)"
+      (stack_overflow ~id:"CVE-2017-9165" ~size:128 ~dist:4);
+  ]
+  @ List.init 8 (fun k ->
+        let id = Printf.sprintf "CVE-2017-%d" (9166 + k) in
+        mk "autotrace" id "heap overflow"
+          (heap_overflow ~id ~size:(100 + (17 * k)) ~dist:(40 + k)))
+  @ List.init 4 (fun k ->
+        let id = Printf.sprintf "CVE-2017-%d" (9204 + k) in
+        mk "imageworsener" id "heap overread"
+          (heap_overread ~id ~size:(64 + (8 * k)) ~dist:(30 + k)))
+  @ [
+      mk "lame" "CVE-2015-9101" "heap overflow"
+        (heap_overflow ~id:"CVE-2015-9101" ~size:200 ~dist:60);
+    ]
+  @ List.init 2 (fun k ->
+        let id = Printf.sprintf "CVE-2017-%d" (5976 + k) in
+        mk "zziplib" id "heap overread"
+          (heap_overread ~id ~size:(80 + (16 * k)) ~dist:(50 + k)))
+  @ List.init 2 (fun k ->
+        let id = Printf.sprintf "CVE-2016-%d" (10270 + k) in
+        mk "libtiff" id "heap overread"
+          (heap_overread ~id ~size:(128 + (32 * k)) ~dist:(64 + k)))
+  @ [
+      mk "libtiff" "CVE-2016-10095" "stack overflow (large)"
+        (stack_overflow ~id:"CVE-2016-10095" ~size:2048 ~dist:600);
+      mk "potrace" "CVE-2017-7263" "heap underflow"
+        (heap_underflow ~id:"CVE-2017-7263" ~size:128 ~dist:4);
+    ]
+  @ List.init 2 (fun k ->
+        let id = Printf.sprintf "CVE-2017-%d" (14407 + k) in
+        mk "mp3gain" id "heap overflow"
+          (heap_overflow ~id ~size:(150 + (50 * k)) ~dist:(80 + k)))
+  @ [
+      (* overflow fully inside the slack of a 650-byte buffer *)
+      mk "mp3gain" "CVE-2017-14409" "heap overflow (slack)"
+        (heap_overflow ~id:"CVE-2017-14409" ~size:650 ~dist:20);
+    ]

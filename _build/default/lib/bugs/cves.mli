@@ -1,0 +1,17 @@
+(** Linux-Flaw-Project-shaped CVE scenarios (Table 4).
+
+    Each row of Table 4 becomes one scenario whose memory-safety shape
+    mirrors the real CVE's class (heap/stack overflow, overread,
+    underflow). The three rows where the paper reports an LFP miss are the
+    overflows that land inside LFP's rounding slack, or inside stack
+    buffers LFP does not protect. *)
+
+type t = {
+  cve_program : string;
+  cve_id : string;
+  cve_class : string;  (** human-readable bug class *)
+  cve_scenario : Scenario.t;
+}
+
+val all : t list
+(** In Table 4's order; ranges like 9166~9173 are expanded. *)

@@ -1,0 +1,135 @@
+module Rng = Giantsan_util.Rng
+module Memobj = Giantsan_memsim.Memobj
+
+type violation =
+  | V_overflow
+  | V_underflow
+  | V_far_jump
+  | V_uaf
+  | V_double_free
+  | V_mid_free
+
+let violation_name = function
+  | V_overflow -> "overflow"
+  | V_underflow -> "underflow"
+  | V_far_jump -> "far-jump"
+  | V_uaf -> "use-after-free"
+  | V_double_free -> "double-free"
+  | V_mid_free -> "mid-pointer-free"
+
+(* Build a random safe scenario and remember which slots are live and how
+   big they are, so violations can be seeded consistently. *)
+type slot_state = { mutable size : int; mutable live : bool }
+
+let widths = [| 1; 2; 4; 8 |]
+
+let gen_steps ?(allow_free = true) rng n_slots n_steps =
+  let slots = Array.init n_slots (fun _ -> { size = 0; live = false }) in
+  let steps = ref [] in
+  let emit s = steps := s :: !steps in
+  (* allocate every slot up front so accesses always have a target *)
+  Array.iteri
+    (fun i s ->
+      s.size <- Rng.int_in rng 16 300;
+      s.live <- true;
+      emit (Scenario.Alloc { slot = i; size = s.size; kind = Memobj.Heap }))
+    slots;
+  for _ = 1 to n_steps do
+    let i = Rng.int rng n_slots in
+    let s = slots.(i) in
+    if s.live then begin
+      match Rng.int rng 10 with
+      | 0 | 1 | 2 | 3 ->
+        (* aligned in-bounds access *)
+        let width = Rng.pick rng widths in
+        let max_off = s.size - width in
+        if max_off >= 0 then
+          let off = Rng.int rng (max_off + 1) / width * width in
+          emit (Scenario.Access { slot = i; off; width })
+      | 4 | 5 ->
+        (* in-bounds loop *)
+        let hi = Rng.int_in rng 1 s.size in
+        emit
+          (Scenario.Access_loop
+             { slot = i; from_ = 0; to_ = hi; step = 1; width = 1 })
+      | 6 | 7 ->
+        (* in-bounds region *)
+        let len = Rng.int_in rng 1 s.size in
+        emit (Scenario.Region { slot = i; off = 0; len })
+      | 8 ->
+        (* reverse in-bounds loop *)
+        let hi = Rng.int_in rng 0 (s.size - 1) in
+        emit
+          (Scenario.Access_loop
+             { slot = i; from_ = hi; to_ = -1; step = -1; width = 1 })
+      | _ ->
+        (* free roughly every tenth action, but always keep at least one
+           slot alive (violations need a live victim) *)
+        let live_count =
+          Array.fold_left (fun n s -> if s.live then n + 1 else n) 0 slots
+        in
+        if allow_free && live_count > 1 then begin
+          s.live <- false;
+          emit (Scenario.Free_slot i)
+        end
+    end
+  done;
+  (slots, fun () -> List.rev !steps)
+
+let gen_clean ~seed =
+  let rng = Rng.create seed in
+  let _, finish = gen_steps rng (Rng.int_in rng 1 4) (Rng.int_in rng 2 25) in
+  {
+    Scenario.sc_id = Printf.sprintf "diff_clean_%d" seed;
+    sc_cwe = 0;
+    sc_buggy = false;
+    sc_steps = finish ();
+  }
+
+let gen_buggy ~seed violation =
+  let rng = Rng.create (seed * 7 + 13) in
+  let n_slots = Rng.int_in rng 2 4 in
+  (* far-jump cases must control the heap layout around the victim: no
+     frees, so the victim and its landing pad are bump-allocated
+     back-to-back and the jump provably lands on addressable bytes *)
+  let allow_free = violation <> V_far_jump in
+  let slots, finish = gen_steps ~allow_free rng n_slots (Rng.int_in rng 2 20) in
+  (* seed the violation on a still-live slot (there is always one: the
+     generator frees at most ~1/10 of actions) *)
+  let victim =
+    let rec find i = if slots.(i).live then i else find ((i + 1) mod n_slots) in
+    find (Rng.int rng n_slots)
+  in
+  let s = slots.(victim) in
+  let tail =
+    match violation with
+    | V_overflow ->
+      [ Scenario.Access { slot = victim; off = s.size + Rng.int rng 8; width = 1 } ]
+    | V_underflow ->
+      [ Scenario.Access { slot = victim; off = -(1 + Rng.int rng 12); width = 1 } ]
+    | V_far_jump ->
+      (* a fresh victim and its landing pad, bump-allocated back to back
+         (no frees happened, so no block reuse): the jump clears the
+         victim's redzone (<= 24 + 16 bytes) and lands inside the pad *)
+      let vsize = 32 in
+      [
+        Scenario.Alloc { slot = victim + 100; size = vsize; kind = Memobj.Heap };
+        Scenario.Alloc { slot = victim + 101; size = 2048; kind = Memobj.Heap };
+        Scenario.Access
+          { slot = victim + 100; off = vsize + 64 + Rng.int rng 300; width = 1 };
+      ]
+    | V_uaf ->
+      [
+        Scenario.Free_slot victim;
+        Scenario.Access { slot = victim; off = Rng.int rng s.size; width = 1 };
+      ]
+    | V_double_free -> [ Scenario.Free_slot victim; Scenario.Free_slot victim ]
+    | V_mid_free -> [ Scenario.Free_at { slot = victim; delta = 8 } ]
+  in
+  {
+    Scenario.sc_id =
+      Printf.sprintf "diff_%s_%d" (violation_name violation) seed;
+    sc_cwe = 0;
+    sc_buggy = true;
+    sc_steps = finish () @ tail;
+  }

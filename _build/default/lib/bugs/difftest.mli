@@ -1,0 +1,33 @@
+(** Differential scenario fuzzing.
+
+    Generates random allocate/access/free scenarios that are memory-safe by
+    construction, optionally with exactly one seeded violation, and runs
+    them across sanitizers. The property suite uses this to check, over
+    thousands of random heaps:
+
+    - no tool ever reports on a violation-free scenario (no false
+      positives — the paper's Table 3 claim);
+    - every tool in the ASan family (ASan, ASan--, GiantSan) detects every
+      seeded near-object violation;
+    - GiantSan's verdicts dominate ASan's (anything instruction-level
+      checking catches, anchored operation-level checking catches too);
+    - seeded far-jump violations split the tools exactly as Table 5 says:
+      GiantSan catches them, ASan at the default redzone does not. *)
+
+type violation =
+  | V_overflow  (** small out-of-bounds beyond the object end *)
+  | V_underflow  (** access below the base *)
+  | V_far_jump  (** lands in a neighbouring allocation (redzone bypass) *)
+  | V_uaf  (** access through a freed (quarantined) pointer *)
+  | V_double_free
+  | V_mid_free  (** free of an interior pointer *)
+
+val violation_name : violation -> string
+
+val gen_clean : seed:int -> Scenario.t
+(** A random safe scenario: allocations, in-bounds accesses/loops/regions,
+    frees. *)
+
+val gen_buggy : seed:int -> violation -> Scenario.t
+(** A random scenario with exactly one seeded violation of the given kind,
+    guaranteed to execute. *)

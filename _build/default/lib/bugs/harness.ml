@@ -1,0 +1,43 @@
+module Memsim = Giantsan_memsim
+
+type tool = Giantsan | Asan | Asanmm | Lfp
+
+let tool_name = function
+  | Giantsan -> "GiantSan"
+  | Asan -> "ASan"
+  | Asanmm -> "ASan--"
+  | Lfp -> "LFP"
+
+let all_tools = [ Giantsan; Asan; Asanmm; Lfp ]
+
+let make_sanitizer ?(redzone = 16) ?(quarantine = 16 * 1024) tool =
+  let config =
+    { Memsim.Heap.arena_size = 32 * 1024; redzone; quarantine_budget = quarantine }
+  in
+  match tool with
+  | Giantsan -> Giantsan_core.Gs_runtime.create config
+  | Asan -> Giantsan_asan.Asan_runtime.create config
+  | Asanmm -> Giantsan_asan.Asan_runtime.create_named "ASan--" config
+  | Lfp -> Giantsan_lfp.Lfp_runtime.create config
+
+let detected ?redzone ?quarantine tool scenario =
+  Scenario.run (make_sanitizer ?redzone ?quarantine tool) scenario
+
+let count_detected ?redzone ?quarantine tool scenarios =
+  List.fold_left
+    (fun acc sc ->
+      if detected ?redzone ?quarantine tool sc then acc + 1 else acc)
+    0 scenarios
+
+let false_positives ?redzone tool scenarios =
+  List.fold_left
+    (fun acc sc ->
+      if (not sc.Scenario.sc_buggy) && detected ?redzone tool sc then acc + 1
+      else acc)
+    0 scenarios
+
+let validate_corpus scenarios =
+  List.filter_map
+    (fun sc ->
+      match Scenario.validate sc with Ok () -> None | Error e -> Some e)
+    scenarios

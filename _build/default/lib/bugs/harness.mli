@@ -1,0 +1,23 @@
+(** Detection harness: run scenario corpora under each tool and count. *)
+
+type tool = Giantsan | Asan | Asanmm | Lfp
+
+val tool_name : tool -> string
+val all_tools : tool list
+
+val make_sanitizer :
+  ?redzone:int -> ?quarantine:int -> tool -> Giantsan_sanitizer.Sanitizer.t
+(** Fresh sanitizer on a small arena (each scenario runs in isolation, like
+    one Juliet test process). Redzone defaults to the paper's 16 bytes. *)
+
+val detected : ?redzone:int -> ?quarantine:int -> tool -> Scenario.t -> bool
+
+val count_detected :
+  ?redzone:int -> ?quarantine:int -> tool -> Scenario.t list -> int
+
+val false_positives : ?redzone:int -> tool -> Scenario.t list -> int
+(** Number of *clean* scenarios the tool wrongly flags (Table 3's "no
+    false-positive issues" claim). *)
+
+val validate_corpus : Scenario.t list -> string list
+(** Ground-truth label errors in a corpus (must be empty; corpus self-test). *)

@@ -1,0 +1,323 @@
+module Memobj = Giantsan_memsim.Memobj
+
+let cwe_ids = [ 121; 122; 124; 126; 127; 416; 476; 761 ]
+
+let cwe_name = function
+  | 121 -> "Stack Buffer Overflow"
+  | 122 -> "Heap Buffer Overflow"
+  | 124 -> "Buffer Underwrite"
+  | 126 -> "Buffer Overread"
+  | 127 -> "Buffer Underread"
+  | 416 -> "Use After Free"
+  | 476 -> "NULL Pointer Dereference"
+  | 761 -> "Free Pointer Not at Start of Buffer"
+  | n -> Printf.sprintf "CWE-%d" n
+
+(* Table 3's Total column. *)
+let total = function
+  | 121 -> 1439
+  | 122 -> 1504
+  | 124 -> 767
+  | 126 -> 449
+  | 127 -> 916
+  | 416 -> 393
+  | 476 -> 288
+  | 761 -> 192
+  | _ -> 0
+
+(* latent cases: labelled buggy in the suite, no bad access at runtime *)
+let latent = function 121 -> 4 | 126 -> 8 | _ -> 0
+
+(* Sizes with comfortable rounding slack, so LFP's class-size blindness
+   shows as in the paper; a sparse sprinkle of exact class sizes gives LFP
+   its few detections. *)
+let overflow_sizes = [| 65; 100; 130; 200; 263; 333; 500; 650; 1000; 1300 |]
+
+(* overread sizes skew tighter to their classes: overreads often run far *)
+let overread_sizes = [| 17; 20; 33; 48; 65; 80; 129; 200 |]
+
+let id cwe i = Printf.sprintf "CWE%d_%05d" cwe i
+
+type flavour = Single | Loop | RegionOp
+
+let flavour_of i = match i mod 3 with 0 -> Single | 1 -> Loop | _ -> RegionOp
+
+(* overflow-style CWEs use five flavours; the extra two start mid-buffer,
+   like strncat-style tail writes and resume-from-offset scans *)
+type flavour5 = F_single | F_loop | F_region | F_region_tail | F_loop_from
+
+let flavour5_of i =
+  match i mod 5 with
+  | 0 -> F_single
+  | 1 -> F_loop
+  | 2 -> F_region
+  | 3 -> F_region_tail
+  | _ -> F_loop_from
+
+(* One buggy overflow case: access [dist] bytes past the end. *)
+let overflow_case ~cwe ~kind i =
+  let exact_class = i mod 376 = 0 in
+  let big_stack = kind = Memobj.Stack && i mod 29 = 0 in
+  let size =
+    if exact_class then 1024
+    else if big_stack then 2048
+    else overflow_sizes.(i mod Array.length overflow_sizes)
+  in
+  let dist = 1 + (i mod 6) in
+  let steps =
+    match flavour5_of i with
+    | F_single ->
+      [
+        Scenario.Alloc { slot = 0; size; kind };
+        Scenario.Access { slot = 0; off = size + dist - 1; width = 1 };
+      ]
+    | F_loop ->
+      [
+        Scenario.Alloc { slot = 0; size; kind };
+        Scenario.Access_loop
+          { slot = 0; from_ = 0; to_ = size + dist; step = 1; width = 1 };
+      ]
+    | F_region ->
+      [
+        Scenario.Alloc { slot = 0; size; kind };
+        Scenario.Region { slot = 0; off = 0; len = size + dist };
+      ]
+    | F_region_tail ->
+      (* strncat-style: the tail write starts mid-buffer and runs past *)
+      [
+        Scenario.Alloc { slot = 0; size; kind };
+        Scenario.Region
+          { slot = 0; off = size / 2; len = (size - (size / 2)) + dist };
+      ]
+    | F_loop_from ->
+      [
+        Scenario.Alloc { slot = 0; size; kind };
+        Scenario.Access_loop
+          { slot = 0; from_ = size / 2; to_ = size + dist; step = 1; width = 1 };
+      ]
+  in
+  { Scenario.sc_id = id cwe i; sc_cwe = cwe; sc_buggy = true; sc_steps = steps }
+
+let overflow_clean ~cwe ~kind i =
+  let size = overflow_sizes.(i mod Array.length overflow_sizes) in
+  let steps =
+    match flavour5_of i with
+    | F_single ->
+      [
+        Scenario.Alloc { slot = 0; size; kind };
+        Scenario.Access { slot = 0; off = size - 1; width = 1 };
+      ]
+    | F_loop ->
+      [
+        Scenario.Alloc { slot = 0; size; kind };
+        Scenario.Access_loop { slot = 0; from_ = 0; to_ = size; step = 1; width = 1 };
+      ]
+    | F_region ->
+      [
+        Scenario.Alloc { slot = 0; size; kind };
+        Scenario.Region { slot = 0; off = 0; len = size };
+      ]
+    | F_region_tail ->
+      [
+        Scenario.Alloc { slot = 0; size; kind };
+        Scenario.Region { slot = 0; off = size / 2; len = size - (size / 2) };
+      ]
+    | F_loop_from ->
+      [
+        Scenario.Alloc { slot = 0; size; kind };
+        Scenario.Access_loop
+          { slot = 0; from_ = size / 2; to_ = size; step = 1; width = 1 };
+      ]
+  in
+  {
+    Scenario.sc_id = id cwe i ^ "_good";
+    sc_cwe = cwe;
+    sc_buggy = false;
+    sc_steps = steps;
+  }
+
+(* a latent "buggy" case: the guard kept the bad index in bounds *)
+let latent_case ~cwe ~kind i =
+  let size = overflow_sizes.(i mod Array.length overflow_sizes) in
+  {
+    Scenario.sc_id = id cwe i ^ "_latent";
+    sc_cwe = cwe;
+    sc_buggy = false;
+    sc_steps =
+      [
+        Scenario.Alloc { slot = 0; size; kind };
+        Scenario.Access { slot = 0; off = size - 1; width = 1 };
+      ];
+  }
+
+let underflow_case ~cwe i =
+  let size = overflow_sizes.(i mod Array.length overflow_sizes) in
+  let dist = 1 + (i mod 12) in
+  let steps =
+    match flavour_of i with
+    | Single ->
+      [
+        Scenario.Alloc { slot = 0; size; kind = Memobj.Heap };
+        Scenario.Access { slot = 0; off = -dist; width = 1 };
+      ]
+    | Loop ->
+      [
+        Scenario.Alloc { slot = 0; size; kind = Memobj.Heap };
+        Scenario.Access_loop
+          { slot = 0; from_ = 32; to_ = -dist - 1; step = -1; width = 1 };
+      ]
+    | RegionOp ->
+      [
+        Scenario.Alloc { slot = 0; size; kind = Memobj.Heap };
+        Scenario.Region { slot = 0; off = -dist; len = dist + 8 };
+      ]
+  in
+  { Scenario.sc_id = id cwe i; sc_cwe = cwe; sc_buggy = true; sc_steps = steps }
+
+let underflow_clean ~cwe i =
+  let size = overflow_sizes.(i mod Array.length overflow_sizes) in
+  {
+    Scenario.sc_id = id cwe i ^ "_good";
+    sc_cwe = cwe;
+    sc_buggy = false;
+    sc_steps =
+      [
+        Scenario.Alloc { slot = 0; size; kind = Memobj.Heap };
+        Scenario.Access { slot = 0; off = 0; width = 1 };
+      ];
+  }
+
+let overread_case ~cwe i =
+  let size = overread_sizes.(i mod Array.length overread_sizes) in
+  let dist = 1 + (i * 7 mod 64) in
+  let steps =
+    match flavour_of i with
+    | Single ->
+      [
+        Scenario.Alloc { slot = 0; size; kind = Memobj.Heap };
+        Scenario.Access { slot = 0; off = size + dist - 1; width = 1 };
+      ]
+    | Loop ->
+      [
+        Scenario.Alloc { slot = 0; size; kind = Memobj.Heap };
+        Scenario.Access_loop
+          { slot = 0; from_ = 0; to_ = size + dist; step = 1; width = 1 };
+      ]
+    | RegionOp ->
+      [
+        Scenario.Alloc { slot = 0; size; kind = Memobj.Heap };
+        Scenario.Region { slot = 0; off = 0; len = size + dist };
+      ]
+  in
+  { Scenario.sc_id = id cwe i; sc_cwe = cwe; sc_buggy = true; sc_steps = steps }
+
+let uaf_case i =
+  let size = overflow_sizes.(i mod Array.length overflow_sizes) in
+  let steps =
+    [ Scenario.Alloc { slot = 0; size; kind = Memobj.Heap }; Scenario.Free_slot 0 ]
+    @
+    match flavour_of i with
+    | Single -> [ Scenario.Access { slot = 0; off = i mod size; width = 1 } ]
+    | Loop ->
+      [
+        Scenario.Access_loop
+          { slot = 0; from_ = 0; to_ = min size 64; step = 8; width = 8 };
+      ]
+    | RegionOp -> [ Scenario.Region { slot = 0; off = 0; len = min size 64 } ]
+  in
+  { Scenario.sc_id = id 416 i; sc_cwe = 416; sc_buggy = true; sc_steps = steps }
+
+let uaf_clean i =
+  let size = overflow_sizes.(i mod Array.length overflow_sizes) in
+  {
+    Scenario.sc_id = id 416 i ^ "_good";
+    sc_cwe = 416;
+    sc_buggy = false;
+    sc_steps =
+      [
+        Scenario.Alloc { slot = 0; size; kind = Memobj.Heap };
+        Scenario.Access { slot = 0; off = 0; width = 8 };
+        Scenario.Free_slot 0;
+      ];
+  }
+
+let null_case i =
+  {
+    Scenario.sc_id = id 476 i;
+    sc_cwe = 476;
+    sc_buggy = true;
+    sc_steps = [ Scenario.Access_null { off = i mod 56; width = 1 } ];
+  }
+
+let null_clean i =
+  {
+    Scenario.sc_id = id 476 i ^ "_good";
+    sc_cwe = 476;
+    sc_buggy = false;
+    sc_steps =
+      [
+        Scenario.Alloc { slot = 0; size = 64; kind = Memobj.Heap };
+        Scenario.Access { slot = 0; off = 0; width = 8 };
+      ];
+  }
+
+let free_mid_case i =
+  let size = overflow_sizes.(i mod Array.length overflow_sizes) in
+  {
+    Scenario.sc_id = id 761 i;
+    sc_cwe = 761;
+    sc_buggy = true;
+    sc_steps =
+      [
+        Scenario.Alloc { slot = 0; size; kind = Memobj.Heap };
+        Scenario.Free_at { slot = 0; delta = 8 * (1 + (i mod 4)) };
+      ];
+  }
+
+let free_mid_clean i =
+  let size = overflow_sizes.(i mod Array.length overflow_sizes) in
+  {
+    Scenario.sc_id = id 761 i ^ "_good";
+    sc_cwe = 761;
+    sc_buggy = false;
+    sc_steps =
+      [
+        Scenario.Alloc { slot = 0; size; kind = Memobj.Heap };
+        Scenario.Free_at { slot = 0; delta = 0 };
+      ];
+  }
+
+let buggy_cases cwe =
+  let n = total cwe in
+  let n_latent = latent cwe in
+  let live = n - n_latent in
+  let mk i =
+    match cwe with
+    | 121 -> overflow_case ~cwe ~kind:Memobj.Stack i
+    | 122 -> overflow_case ~cwe ~kind:Memobj.Heap i
+    | 124 -> underflow_case ~cwe i
+    | 126 -> overread_case ~cwe i
+    | 127 -> underflow_case ~cwe i
+    | 416 -> uaf_case i
+    | 476 -> null_case i
+    | 761 -> free_mid_case i
+    | _ -> invalid_arg "Juliet.buggy_cases: unknown CWE"
+  in
+  let kind = if cwe = 121 then Memobj.Stack else Memobj.Heap in
+  List.init live mk
+  @ List.init n_latent (fun i -> latent_case ~cwe ~kind (live + i))
+
+let clean_cases cwe =
+  let n = total cwe in
+  let mk i =
+    match cwe with
+    | 121 -> overflow_clean ~cwe ~kind:Memobj.Stack i
+    | 122 -> overflow_clean ~cwe ~kind:Memobj.Heap i
+    | 124 | 127 -> underflow_clean ~cwe i
+    | 126 -> overflow_clean ~cwe ~kind:Memobj.Heap i
+    | 416 -> uaf_clean i
+    | 476 -> null_clean i
+    | 761 -> free_mid_clean i
+    | _ -> invalid_arg "Juliet.clean_cases: unknown CWE"
+  in
+  List.init n mk

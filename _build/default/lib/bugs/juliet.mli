@@ -1,0 +1,27 @@
+(** A Juliet-Test-Suite-shaped corpus (Table 3).
+
+    NIST's Juliet 1.3 cannot be vendored into this sealed reproduction, so
+    we generate a corpus with the same structure: for each of the eight
+    CWEs the paper evaluates, the same number of buggy cases as the paper's
+    Total column (1439 stack overflows, 1504 heap overflows, ...), spanning
+    the same flavours Juliet uses (single accesses, loop walks, region
+    operations) over a deterministic spread of object sizes and overflow
+    distances. Each buggy case has a non-buggy twin, mirroring Juliet's
+    good/bad function pairs; a handful of cases per the paper's discussion
+    are "latent" — labelled buggy in the suite but never performing the bad
+    access at runtime (uninitialized-value guards), which no dynamic tool
+    can or should flag. *)
+
+val cwe_ids : int list
+(** [121; 122; 124; 126; 127; 416; 476; 761], Table 3's rows. *)
+
+val cwe_name : int -> string
+val total : int -> int
+(** Paper's Total column for the CWE. *)
+
+val buggy_cases : int -> Scenario.t list
+(** The corpus for one CWE; length = [total cwe]. Latent cases carry
+    [sc_buggy = false]. *)
+
+val clean_cases : int -> Scenario.t list
+(** The non-buggy twins (same length). *)

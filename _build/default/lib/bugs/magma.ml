@@ -1,0 +1,67 @@
+module Memobj = Giantsan_memsim.Memobj
+
+type project = {
+  mg_name : string;
+  mg_loc : string;
+  mg_short : int;
+  mg_mid : int;
+  mg_far : int;
+  mg_latent : int;
+}
+
+let total p = p.mg_short + p.mg_mid + p.mg_far + p.mg_latent
+
+(* Populations derived from Table 5's counts:
+   php:      ASan(16)=1556, ASan(512)=1962, GiantSan=2019, total 3072
+             => short 1556, mid 406, far 57, latent 1053 *)
+let projects =
+  [
+    { mg_name = "php"; mg_loc = "1.3M"; mg_short = 1556; mg_mid = 406; mg_far = 57; mg_latent = 1053 };
+    { mg_name = "libpng"; mg_loc = "86K"; mg_short = 1881; mg_mid = 0; mg_far = 0; mg_latent = 0 };
+    { mg_name = "libtiff"; mg_loc = "91K"; mg_short = 9858; mg_mid = 0; mg_far = 0; mg_latent = 0 };
+    { mg_name = "libxml2"; mg_loc = "284K"; mg_short = 30566; mg_mid = 0; mg_far = 0; mg_latent = 8 };
+    { mg_name = "openssl"; mg_loc = "535K"; mg_short = 46; mg_mid = 0; mg_far = 0; mg_latent = 1463 };
+    { mg_name = "sqlite3"; mg_loc = "367K"; mg_short = 1528; mg_mid = 0; mg_far = 0; mg_latent = 0 };
+    { mg_name = "poppler"; mg_loc = "43K"; mg_short = 10201; mg_mid = 0; mg_far = 0; mg_latent = 346 };
+  ]
+
+(* One PoC: a small object, a large neighbour to land in, and an access at
+   a distance decided by the population. *)
+let case ~project ~kind ~i =
+  let dist =
+    match kind with
+    | `Short -> 1 + (i mod 8)
+    | `Mid -> 40 + (i mod 460)
+    | `Far -> 1100 + (i mod 800)
+    | `Latent -> 0
+  in
+  let steps =
+    [
+      Scenario.Alloc { slot = 0; size = 32; kind = Memobj.Heap };
+      Scenario.Alloc { slot = 1; size = 2048; kind = Memobj.Heap };
+    ]
+    @
+    match kind with
+    | `Latent -> [ Scenario.Access { slot = 0; off = 0; width = 1 } ]
+    | `Short | `Mid | `Far ->
+      [ Scenario.Access { slot = 0; off = dist + 31; width = 1 } ]
+  in
+  let tag =
+    match kind with
+    | `Short -> "short"
+    | `Mid -> "mid"
+    | `Far -> "far"
+    | `Latent -> "latent"
+  in
+  {
+    Scenario.sc_id = Printf.sprintf "magma_%s_%s_%05d" project tag i;
+    sc_cwe = 0;
+    sc_buggy = kind <> `Latent;
+    sc_steps = steps;
+  }
+
+let cases p =
+  List.init p.mg_short (fun i -> case ~project:p.mg_name ~kind:`Short ~i)
+  @ List.init p.mg_mid (fun i -> case ~project:p.mg_name ~kind:`Mid ~i)
+  @ List.init p.mg_far (fun i -> case ~project:p.mg_name ~kind:`Far ~i)
+  @ List.init p.mg_latent (fun i -> case ~project:p.mg_name ~kind:`Latent ~i)

@@ -1,0 +1,34 @@
+(** Magma-shaped redzone-bypass study (Table 5).
+
+    Magma's fuzzing campaign produced tens of thousands of proof-of-concept
+    inputs per project; what Table 5 measures is how many of them a
+    sanitizer flags under a given redzone size. The decisive population is
+    PHP's long-jump overflows (the CVE-2018-14883 PoCs): indices so large
+    the access leaps over the redzone into the next allocation, invisible
+    to instruction-level checks but caught by GiantSan's anchor-based
+    region [\[base, access)].
+
+    Each project is modelled as four scenario populations whose sizes are
+    taken from Table 5:
+    - {b short}: the access lands inside any redzone (everyone detects);
+    - {b mid}: jump of ~40..500 bytes — lands in the neighbouring object
+      under a 16-byte redzone (missed) but inside an enlarged 512-byte
+      redzone (caught);
+    - {b far}: jump of ~1100..1900 bytes — clears even the 512-byte
+      redzone; only anchor-based checking sees it;
+    - {b latent}: PoCs that do not trigger a memory-unsafe access at all
+      (nobody should flag them). *)
+
+type project = {
+  mg_name : string;
+  mg_loc : string;  (** the LoC annotation of Table 5, e.g. "1.3M" *)
+  mg_short : int;
+  mg_mid : int;
+  mg_far : int;
+  mg_latent : int;
+}
+
+val projects : project list
+val total : project -> int
+val cases : project -> Scenario.t list
+(** Deterministic expansion; length = [total p]. *)

@@ -1,0 +1,97 @@
+module Memsim = Giantsan_memsim
+module San = Giantsan_sanitizer.Sanitizer
+
+type step =
+  | Alloc of { slot : int; size : int; kind : Memsim.Memobj.kind }
+  | Free_slot of int
+  | Free_at of { slot : int; delta : int }
+  | Access of { slot : int; off : int; width : int }
+  | Access_loop of { slot : int; from_ : int; to_ : int; step : int; width : int }
+  | Region of { slot : int; off : int; len : int }
+  | Access_null of { off : int; width : int }
+
+type t = { sc_id : string; sc_cwe : int; sc_buggy : bool; sc_steps : step list }
+
+let loop_offsets ~from_ ~to_ ~step =
+  assert (step <> 0);
+  let rec go acc off =
+    if (step > 0 && off >= to_) || (step < 0 && off <= to_) then List.rev acc
+    else go (off :: acc) (off + step)
+  in
+  go [] from_
+
+let run (san : San.t) t =
+  let slots = Hashtbl.create 4 in
+  let base slot =
+    match Hashtbl.find_opt slots slot with
+    | Some b -> b
+    | None -> failwith (t.sc_id ^ ": use of unallocated slot")
+  in
+  let detected = ref false in
+  let note = function None -> () | Some _ -> detected := true in
+  List.iter
+    (fun step ->
+      match step with
+      | Alloc { slot; size; kind } ->
+        let obj = san.San.malloc ~kind size in
+        Hashtbl.replace slots slot obj.Memsim.Memobj.base
+      | Free_slot slot -> note (san.San.free (base slot))
+      | Free_at { slot; delta } -> note (san.San.free (base slot + delta))
+      | Access { slot; off; width } ->
+        let b = base slot in
+        note (san.San.access ~base:b ~addr:(b + off) ~width)
+      | Access_loop { slot; from_; to_; step; width } ->
+        let b = base slot in
+        let cache = san.San.new_cache ~base:b in
+        List.iter
+          (fun off -> note (san.San.cached_access cache ~off ~width))
+          (loop_offsets ~from_ ~to_ ~step);
+        note (san.San.flush_cache cache)
+      | Region { slot; off; len } ->
+        let b = base slot in
+        if len > 0 then note (san.San.check_region ~lo:(b + off) ~hi:(b + off + len))
+      | Access_null { off; width } ->
+        note (san.San.access ~base:0 ~addr:off ~width))
+    t.sc_steps;
+  !detected
+
+(* Static ground truth from the step list alone: sizes and lifetimes are
+   known by construction. *)
+let validate t =
+  let slots = Hashtbl.create 4 in
+  let violation = ref false in
+  let oob slot off width =
+    match Hashtbl.find_opt slots slot with
+    | None -> true
+    | Some (size, freed) -> freed || off < 0 || off + width > size
+  in
+  List.iter
+    (fun step ->
+      match step with
+      | Alloc { slot; size; _ } -> Hashtbl.replace slots slot (size, false)
+      | Free_slot slot -> (
+        match Hashtbl.find_opt slots slot with
+        | Some (size, false) -> Hashtbl.replace slots slot (size, true)
+        | Some (_, true) | None -> violation := true)
+      | Free_at { slot; delta } ->
+        if delta <> 0 then violation := true
+        else (
+          match Hashtbl.find_opt slots slot with
+          | Some (size, false) -> Hashtbl.replace slots slot (size, true)
+          | Some (_, true) | None -> violation := true)
+      | Access { slot; off; width } ->
+        if oob slot off width then violation := true
+      | Access_loop { slot; from_; to_; step; width } ->
+        List.iter
+          (fun off -> if oob slot off width then violation := true)
+          (loop_offsets ~from_ ~to_ ~step)
+      | Region { slot; off; len } ->
+        if len > 0 && oob slot off len then violation := true
+      | Access_null _ -> violation := true)
+    t.sc_steps;
+  if !violation = t.sc_buggy then Ok ()
+  else
+    Error
+      (Printf.sprintf "%s: labelled %s but ground truth says %s" t.sc_id
+         (if t.sc_buggy then "buggy" else "clean")
+         (if !violation then "buggy" else "clean"))

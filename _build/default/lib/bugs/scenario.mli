@@ -1,0 +1,44 @@
+(** Bug-scenario DSL.
+
+    A scenario is a short script of allocations, frees and (possibly
+    out-of-bounds) accesses, executed directly against a sanitizer's
+    runtime API. The detectability studies (Tables 3, 4 and 5) are corpora
+    of these scenarios: the ground-truth label says whether the scenario
+    contains a violation; a sanitizer scores a detection when any of its
+    checks fires. *)
+
+type step =
+  | Alloc of { slot : int; size : int; kind : Giantsan_memsim.Memobj.kind }
+      (** slot := malloc(size) — slots are scenario-local pointer registers *)
+  | Free_slot of int
+  | Free_at of { slot : int; delta : int }
+      (** free(slot + delta): CWE-761 when delta <> 0 *)
+  | Access of { slot : int; off : int; width : int }
+      (** one anchored access at slot + off *)
+  | Access_loop of { slot : int; from_ : int; to_ : int; step : int; width : int }
+      (** a cached loop: byte offsets from_, from_+step, ... below to_
+          (or above, when step < 0), through the history cache, with the
+          loop-exit flush *)
+  | Region of { slot : int; off : int; len : int }
+      (** a memset/strcpy-style region operation *)
+  | Access_null of { off : int; width : int }
+      (** dereference of the null page at byte [off] *)
+
+type t = {
+  sc_id : string;
+  sc_cwe : int;  (** CWE number, or 0 for CVE/Magma scenarios *)
+  sc_buggy : bool;  (** ground truth: does a violation occur at runtime? *)
+  sc_steps : step list;
+}
+
+val loop_offsets : from_:int -> to_:int -> step:int -> int list
+(** The offsets an [Access_loop] visits (ascending when [step > 0],
+    descending when [step < 0]; empty when already past [to_]). *)
+
+val run : Giantsan_sanitizer.Sanitizer.t -> t -> bool
+(** Execute against a (fresh) sanitizer; [true] if any check reported. *)
+
+val validate : t -> (unit, string) result
+(** Sanity-check the ground-truth label against the oracle: running the
+    scenario on a Native heap, does some access really leave its intended
+    object (or touch freed memory)? Used by the corpus self-tests. *)

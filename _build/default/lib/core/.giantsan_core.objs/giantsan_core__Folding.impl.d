@@ -1,0 +1,1 @@
+lib/core/folding.ml: Giantsan_memsim Giantsan_shadow Giantsan_util State_code

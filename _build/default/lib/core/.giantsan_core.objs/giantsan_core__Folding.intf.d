@@ -1,0 +1,1 @@
+lib/core/folding.mli: Giantsan_memsim Giantsan_shadow

@@ -1,0 +1,1 @@
+lib/core/gs_runtime.ml: Folding Giantsan_memsim Giantsan_sanitizer Giantsan_shadow List Quasi_bound Region_check State_code

@@ -1,0 +1,1 @@
+lib/core/gs_runtime.mli: Giantsan_memsim Giantsan_sanitizer Giantsan_shadow

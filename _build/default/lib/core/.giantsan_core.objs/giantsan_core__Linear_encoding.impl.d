@@ -1,0 +1,1 @@
+lib/core/linear_encoding.ml: Giantsan_memsim Giantsan_shadow State_code

@@ -1,0 +1,1 @@
+lib/core/linear_encoding.mli: Giantsan_memsim Giantsan_shadow

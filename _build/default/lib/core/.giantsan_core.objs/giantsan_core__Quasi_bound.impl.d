@@ -1,0 +1,1 @@
+lib/core/quasi_bound.ml: Giantsan_sanitizer Giantsan_shadow Region_check State_code

@@ -1,0 +1,1 @@
+lib/core/quasi_bound.mli: Giantsan_sanitizer Giantsan_shadow

@@ -1,0 +1,1 @@
+lib/core/region_check.ml: Giantsan_shadow State_code

@@ -1,0 +1,1 @@
+lib/core/region_check.mli: Giantsan_shadow

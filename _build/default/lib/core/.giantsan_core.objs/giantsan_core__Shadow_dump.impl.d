@@ -1,0 +1,1 @@
+lib/core/shadow_dump.ml: Buffer Giantsan_shadow List Printf State_code String

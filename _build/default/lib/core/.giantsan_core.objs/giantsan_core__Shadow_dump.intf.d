@@ -1,0 +1,1 @@
+lib/core/shadow_dump.mli: Giantsan_shadow

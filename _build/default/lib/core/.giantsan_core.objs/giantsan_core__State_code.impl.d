@@ -1,0 +1,1 @@
+lib/core/state_code.ml: Giantsan_memsim Printf

@@ -1,0 +1,1 @@
+lib/core/state_code.mli: Giantsan_memsim

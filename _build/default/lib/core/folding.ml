@@ -1,0 +1,92 @@
+module Bitops = Giantsan_util.Bitops
+module Shadow_mem = Giantsan_shadow.Shadow_mem
+module Memobj = Giantsan_memsim.Memobj
+
+let degree_at ~good_segments =
+  assert (good_segments >= 1);
+  min (Bitops.log2_floor good_segments) State_code.max_degree
+
+let poison_good_run m ~first_seg ~count =
+  (* Incremental floor-log2: walking j upward, [remaining = count - j]
+     decreases by one each step, so the degree drops exactly when
+     [remaining] falls below the current power of two. This keeps the whole
+     poisoning pass linear, matching the paper's claim that the richer
+     encoding costs no extra update time. *)
+  if count > 0 then begin
+    let d = ref (degree_at ~good_segments:count) in
+    let remaining = ref count in
+    for seg = first_seg to first_seg + count - 1 do
+      while !remaining < 1 lsl !d do
+        decr d
+      done;
+      Shadow_mem.set m seg (State_code.folded !d);
+      decr remaining
+    done
+  end
+
+let poison_alloc m (obj : Memobj.t) =
+  let rz = State_code.redzone_code obj.kind in
+  let base_seg = obj.base / 8 in
+  let full = obj.size / 8 in
+  let rem = obj.size mod 8 in
+  Shadow_mem.fill_range m ~lo:(obj.block_base / 8) ~hi:base_seg rz;
+  poison_good_run m ~first_seg:base_seg ~count:full;
+  let after =
+    if rem > 0 then begin
+      Shadow_mem.set m (base_seg + full) (State_code.partial rem);
+      base_seg + full + 1
+    end
+    else base_seg + full
+  in
+  Shadow_mem.fill_range m ~lo:after ~hi:(Memobj.block_end obj / 8) rz
+
+let object_segments (obj : Memobj.t) =
+  let base_seg = obj.base / 8 in
+  let hi =
+    if obj.size = 0 then base_seg else ((obj.base + obj.size - 1) / 8) + 1
+  in
+  (base_seg, hi)
+
+let poison_free m obj =
+  let lo, hi = object_segments obj in
+  Shadow_mem.fill_range m ~lo ~hi State_code.freed
+
+let poison_evict m (obj : Memobj.t) =
+  Shadow_mem.fill_range m ~lo:(obj.block_base / 8)
+    ~hi:(Memobj.block_end obj / 8) State_code.unallocated
+
+let lower_bound m ~addr =
+  let start = addr / 8 in
+  (* largest d such that a degree-d fold at [p - 2^d] would not cross the
+     shadow's origin *)
+  let rec try_jump p d =
+    if d < 0 then p
+    else begin
+      let cand = p - (1 lsl d) in
+      if cand < 0 then try_jump p (d - 1)
+      else
+        let v = Shadow_mem.load m cand in
+        if State_code.is_folded v && State_code.degree v >= d then
+          (* the fold covers [cand, cand + 2^d) = [cand, p): extend left *)
+          try_jump cand d
+        else try_jump p (d - 1)
+    end
+  in
+  let max_d =
+    min State_code.max_degree
+      (if start <= 1 then 0 else Giantsan_util.Bitops.log2_floor start)
+  in
+  8 * try_jump start max_d
+
+let upper_bound m ~addr =
+  let rec skip seg =
+    let v = Shadow_mem.load m seg in
+    if State_code.is_folded v then begin
+      let next = seg + (1 lsl State_code.degree v) in
+      if next * 8 >= Shadow_mem.segments m * 8 then (next * 8)
+      else skip next
+    end
+    else (seg * 8) + State_code.addressable_in_segment v
+  in
+  let bound = skip (addr / 8) in
+  max addr bound

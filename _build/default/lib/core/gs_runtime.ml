@@ -1,0 +1,123 @@
+module Memsim = Giantsan_memsim
+module Shadow_mem = Giantsan_shadow.Shadow_mem
+module San = Giantsan_sanitizer.Sanitizer
+module Counters = Giantsan_sanitizer.Counters
+module Report = Giantsan_sanitizer.Report
+
+let create_exposed_variant ~name ~use_cache ~check_underflow config =
+  let heap = Memsim.Heap.create config in
+  let m = Shadow_mem.of_heap heap ~fill:State_code.unallocated in
+  let counters = Counters.create () in
+  let report ?base ~addr ~size () =
+    counters.Counters.errors <- counters.Counters.errors + 1;
+    Some
+      (Report.make
+         ~kind:(Report.classify_access heap ~addr ~base)
+         ~addr ~size ~detected_by:name)
+  in
+  let count_region outcome =
+    counters.Counters.region_checks <- counters.Counters.region_checks + 1;
+    match outcome with
+    | Region_check.Safe_fast ->
+      counters.Counters.fast_checks <- counters.Counters.fast_checks + 1
+    | Region_check.Safe_slow | Region_check.Bad _ ->
+      counters.Counters.slow_checks <- counters.Counters.slow_checks + 1
+  in
+  let ci ?anchor ~l ~r ~size () =
+    let outcome = Region_check.check_unaligned m ~l ~r in
+    count_region outcome;
+    match outcome with
+    | Region_check.Safe_fast | Region_check.Safe_slow -> None
+    | Region_check.Bad addr -> report ?base:anchor ~addr ~size ()
+  in
+  let malloc ?kind size =
+    counters.Counters.mallocs <- counters.Counters.mallocs + 1;
+    let obj = Memsim.Heap.malloc heap ?kind size in
+    Folding.poison_alloc m obj;
+    counters.Counters.poison_segments <-
+      counters.Counters.poison_segments + (obj.Memsim.Memobj.block_len / 8);
+    obj
+  in
+  let free ptr =
+    counters.Counters.frees <- counters.Counters.frees + 1;
+    match Memsim.Heap.free heap ptr with
+    | Ok { freed; evicted } ->
+      Folding.poison_free m freed;
+      List.iter (Folding.poison_evict m) evicted;
+      None
+    | Error err ->
+      let r = San.free_error_report ~name ~addr:ptr err in
+      if r <> None then
+        counters.Counters.errors <- counters.Counters.errors + 1;
+      r
+  in
+  let access ~base ~addr ~width =
+    if base > 0 && addr >= base then
+      (* anchor-based: protect everything between the anchor and the access *)
+      ci ~anchor:base ~l:base ~r:(addr + width) ~size:width ()
+    else if base > 0 && check_underflow then begin
+      counters.Counters.underflow_checks <-
+        counters.Counters.underflow_checks + 1;
+      match ci ~anchor:base ~l:addr ~r:base ~size:width () with
+      | Some r -> Some r
+      | None ->
+        if addr + width > base then
+          ci ~anchor:base ~l:base ~r:(addr + width) ~size:width ()
+        else None
+    end
+    else
+      (* no anchor (or underflow anchoring disabled, the §5.4 degraded
+         mode): check only the accessed bytes *)
+      ci ~l:addr ~r:(addr + width) ~size:width ()
+  in
+  let check_region ~lo ~hi =
+    ci ~anchor:lo ~l:lo ~r:hi ~size:(hi - lo) ()
+  in
+  let cached_access (cache : San.cache) ~off ~width =
+    if off < 0 && not check_underflow then
+      (* degraded §5.4 mode: unanchored check of the accessed bytes only *)
+      ci
+        ~l:(cache.San.cache_base + off)
+        ~r:(cache.San.cache_base + off + width)
+        ~size:width ()
+    else if use_cache then begin
+      match Quasi_bound.access m counters cache ~off ~width with
+      | Quasi_bound.Ok_cached | Quasi_bound.Ok_checked -> None
+      | Quasi_bound.Bad addr ->
+        report ~base:cache.San.cache_base ~addr ~size:width ()
+    end
+    else
+      access ~base:cache.San.cache_base
+        ~addr:(cache.San.cache_base + off) ~width
+  in
+  let flush_cache cache =
+    if not use_cache then None
+    else
+      match Quasi_bound.flush m counters cache with
+      | None -> None
+      | Some addr -> report ~base:cache.San.cache_base ~addr ~size:0 ()
+  in
+  ( {
+      San.name;
+      heap;
+      counters;
+      shadow_loads = (fun () -> Shadow_mem.loads m);
+      malloc;
+      free;
+      access;
+      check_region;
+      new_cache = (fun ~base -> { San.cache_base = base; cache_ub = 0 });
+      cached_access;
+      flush_cache;
+      supports_operation_level = true;
+    },
+    m )
+
+let create_variant ~name ~use_cache ?(check_underflow = true) config =
+  fst (create_exposed_variant ~name ~use_cache ~check_underflow config)
+
+let create config = create_variant ~name:"GiantSan" ~use_cache:true config
+
+let create_exposed config =
+  create_exposed_variant ~name:"GiantSan" ~use_cache:true
+    ~check_underflow:true config

@@ -1,0 +1,36 @@
+(** The GiantSan runtime: folded poisoning + O(1) region checks +
+    quasi-bound caching + anchor-based access checks, packaged behind the
+    common {!Giantsan_sanitizer.Sanitizer.t} interface.
+
+    Semantics of [access ~base]:
+    - [base > 0] and [addr >= base]: anchor-based enhancement (§4.4.1) —
+      check the whole [\[base, addr + width)] so an index large enough to
+      jump over the redzone is still caught;
+    - [base > 0] and [addr < base]: dedicated underflow check
+      [CI(addr, base)];
+    - [base = 0] (anchor unknown): plain [CI] over the accessed bytes only,
+      the instruction-level fallback. *)
+
+val create : Giantsan_memsim.Heap.config -> Giantsan_sanitizer.Sanitizer.t
+
+val create_variant :
+  name:string ->
+  use_cache:bool ->
+  ?check_underflow:bool ->
+  Giantsan_memsim.Heap.config ->
+  Giantsan_sanitizer.Sanitizer.t
+(** Ablation variants (§5.2): [~use_cache:false] turns [cached_access] into
+    a plain per-access check, producing the "EliminationOnly" configuration
+    when combined with the instrumentation pipeline (the "CacheOnly"
+    configuration is selected at instrumentation time instead).
+
+    [?check_underflow:false] is the first §5.4 mitigation alternative:
+    negative-offset accesses are no longer anchored (only the accessed
+    bytes are checked, ASan-style), trading underflow precision for speed
+    on reverse traversals. Default [true]. *)
+
+val create_exposed :
+  Giantsan_memsim.Heap.config ->
+  Giantsan_sanitizer.Sanitizer.t * Giantsan_shadow.Shadow_mem.t
+(** Like [create] but also hands back the runtime's shadow memory, for
+    debugging/visualization ({!Shadow_dump}) and white-box tests. *)

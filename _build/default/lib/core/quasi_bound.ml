@@ -1,0 +1,65 @@
+module Shadow_mem = Giantsan_shadow.Shadow_mem
+module Counters = Giantsan_sanitizer.Counters
+module San = Giantsan_sanitizer.Sanitizer
+
+type result = Ok_cached | Ok_checked | Bad of int
+
+let count_region (c : Counters.t) outcome =
+  c.region_checks <- c.region_checks + 1;
+  match outcome with
+  | Region_check.Safe_fast -> c.fast_checks <- c.fast_checks + 1
+  | Region_check.Safe_slow -> c.slow_checks <- c.slow_checks + 1
+  | Region_check.Bad _ -> c.slow_checks <- c.slow_checks + 1
+
+let access m (c : Counters.t) (cache : San.cache) ~off ~width =
+  let base = cache.cache_base in
+  if off < 0 then begin
+    (* Figure 9 lines 9-11: a dedicated CI(y + off, y) per underflow-side
+       access; no caching on this side. *)
+    c.underflow_checks <- c.underflow_checks + 1;
+    let o1 = Region_check.check_unaligned m ~l:(base + off) ~r:base in
+    count_region c o1;
+    match o1 with
+    | Region_check.Bad a -> Bad a
+    | Region_check.Safe_fast | Region_check.Safe_slow ->
+      if off + width > 0 then begin
+        let o2 = Region_check.check m ~l:base ~r:(base + off + width) in
+        count_region c o2;
+        match o2 with
+        | Region_check.Bad a -> Bad a
+        | Region_check.Safe_fast | Region_check.Safe_slow -> Ok_checked
+      end
+      else Ok_checked
+  end
+  else if off + width <= cache.cache_ub then begin
+    c.cache_hits <- c.cache_hits + 1;
+    Ok_cached
+  end
+  else begin
+    let outcome = Region_check.check m ~l:base ~r:(base + off + width) in
+    count_region c outcome;
+    match outcome with
+    | Region_check.Bad a -> Bad a
+    | Region_check.Safe_fast | Region_check.Safe_slow ->
+      (* Figure 9 lines 6-7: refresh the quasi-bound from the folded
+         segment at the access position (one extra metadata load). *)
+      c.cache_updates <- c.cache_updates + 1;
+      let v = Shadow_mem.load m ((base + off) / 8) in
+      let seg_start_off = ((base + off) land lnot 7) - base in
+      let nb = seg_start_off + State_code.covered_bytes v in
+      if nb > cache.cache_ub then cache.cache_ub <- nb;
+      Ok_checked
+  end
+
+let flush m (c : Counters.t) (cache : San.cache) =
+  if cache.cache_ub <= 0 then None
+  else begin
+    let outcome =
+      Region_check.check m ~l:cache.cache_base
+        ~r:(cache.cache_base + cache.cache_ub)
+    in
+    count_region c outcome;
+    match outcome with
+    | Region_check.Bad a -> Some a
+    | Region_check.Safe_fast | Region_check.Safe_slow -> None
+  end

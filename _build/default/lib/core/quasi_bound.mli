@@ -1,0 +1,39 @@
+(** History caching with quasi-bounds (§4.3, Figure 9).
+
+    A cache holds, per base pointer, how many bytes from the base have
+    already been proven addressable (the {e quasi-bound}). Accesses inside
+    the quasi-bound need no metadata at all; an access beyond it pays one
+    region check plus one shadow load to enlarge the bound from the folded
+    segment at the access position. The bound reaches the object's true
+    bound after at most [ceil (log2 (n/8))] updates.
+
+    Negative offsets get a dedicated underflow region check each time — the
+    summary is single-sided, so there is no quasi-{e lower}-bound (the §5.4
+    limitation, visible in the Figure 11 reverse-traversal experiment).
+
+    Deviation from the paper, documented in DESIGN.md: Figure 9 line 7 sets
+    [ub = off + covered(v)] even when [base + off] sits mid-segment, which
+    over-claims by [(base + off) mod 8] bytes; we anchor the bound at the
+    segment start ([ub = align8(base + off) - base + covered(v)]), which is
+    the sound reading. *)
+
+type result = Ok_cached | Ok_checked | Bad of int
+
+val access :
+  Giantsan_shadow.Shadow_mem.t ->
+  Giantsan_sanitizer.Counters.t ->
+  Giantsan_sanitizer.Sanitizer.cache ->
+  off:int ->
+  width:int ->
+  result
+(** Check the access [\[base + off, base + off + width)] under the cache,
+    updating counters ([cache_hits], [cache_updates], [underflow_checks],
+    region-check counts) and the quasi-bound. *)
+
+val flush :
+  Giantsan_shadow.Shadow_mem.t ->
+  Giantsan_sanitizer.Counters.t ->
+  Giantsan_sanitizer.Sanitizer.cache ->
+  int option
+(** Figure 9 line 14: after the loop, re-verify [\[base, base + ub)] to
+    catch an object freed mid-loop. Returns a bad address if so. *)

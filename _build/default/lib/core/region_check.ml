@@ -1,0 +1,38 @@
+module Shadow_mem = Giantsan_shadow.Shadow_mem
+
+type outcome = Safe_fast | Safe_slow | Bad of int
+
+let is_safe = function Safe_fast | Safe_slow -> true | Bad _ -> false
+
+(* A literal transcription of Algorithm 1. [l] plays L, [r] plays R.
+   Soundness rests on two invariants of the poisoning pass:
+   - a folded code is a truthful claim that 2^i whole segments are good;
+   - within one object, state codes never decrease along the object
+     (monotone degrees), so the suffix test can use [<>] instead of [>]. *)
+let check m ~l ~r =
+  assert (l land 7 = 0);
+  if r <= l then Safe_fast
+  else begin
+    let v = Shadow_mem.load m (l / 8) in
+    let u = State_code.covered_bytes v in
+    if u >= r - l then Safe_fast
+    else begin
+      let bad = ref None in
+      if r - l >= 8 then begin
+        (* prefix: the folded segment at l must cover at least half *)
+        if 2 * u < r - l then bad := Some (l + u)
+        else if Shadow_mem.load m ((r - u) / 8) <> v then
+          (* suffix: a second folded segment of the same degree must cover
+             the tail *)
+          bad := Some (((r - u) / 8 * 8) + 7)
+      end;
+      (if !bad = None then
+         (* the final, possibly partial segment *)
+         let last = Shadow_mem.load m ((r - 1) / 8) in
+         if last > 72 - (r land 7) then
+           bad := Some (((r - 1) / 8 * 8) + State_code.addressable_in_segment last));
+      match !bad with None -> Safe_slow | Some addr -> Bad addr
+    end
+  end
+
+let check_unaligned m ~l ~r = check m ~l:(l land lnot 7) ~r

@@ -1,0 +1,30 @@
+(** Algorithm 1: the O(1) region check [CI(L, R)] (§4.2).
+
+    Safeguards an arbitrary-size region with at most three shadow loads:
+
+    - {b fast check}: the folded segment at [L] already covers [R - L]
+      bytes — one load, the common case (Figure 6b);
+    - {b slow check}: the region must decompose into two folded segments of
+      the same degree (Figure 6c) plus an addressable prefix of the final
+      partial segment — two more loads.
+
+    Contrast with ASan's guardian, which loads one shadow byte per 8-byte
+    segment of the region. *)
+
+type outcome =
+  | Safe_fast  (** settled by the fast check *)
+  | Safe_slow  (** needed the slow check *)
+  | Bad of int  (** region contains a non-addressable byte; the address is a
+                    best-effort pointer at the offending area *)
+
+val check : Giantsan_shadow.Shadow_mem.t -> l:int -> r:int -> outcome
+(** [check m ~l ~r] safeguards [\[l, r)]. [l] must be 8-aligned (the paper's
+    precondition; allocation bases always are — use [check_unaligned] for
+    arbitrary [l]). Empty regions are [Safe_fast]. *)
+
+val check_unaligned : Giantsan_shadow.Shadow_mem.t -> l:int -> r:int -> outcome
+(** [check] after aligning [l] down to a segment boundary. Sound for any
+    region that starts inside an object (8-aligned object bases mean the
+    aligned-down bytes belong to the same object). *)
+
+val is_safe : outcome -> bool

@@ -1,0 +1,48 @@
+module Memobj = Giantsan_memsim.Memobj
+
+let max_degree = 45
+let good = 64
+
+let folded i =
+  assert (i >= 0 && i <= max_degree);
+  64 - i
+
+let degree v =
+  assert (v >= 64 - max_degree && v <= 64);
+  64 - v
+
+let partial k =
+  assert (k >= 1 && k <= 7);
+  72 - k
+
+let is_folded v = v <= 64
+let is_partial v = v >= 65 && v <= 71
+let is_error v = v > 72
+
+(* 73..79 would also be legal; spreading the codes out keeps accidental
+   collisions with arithmetic on partial codes visible in tests. *)
+let heap_redzone = 73
+let freed = 74
+let stack_redzone = 75
+let global_redzone = 76
+let unallocated = 80
+
+let covered_bytes v = if v <= 64 then 1 lsl (67 - v) else 0
+
+let addressable_in_segment v =
+  if v <= 64 then 8 else if v <= 71 then 72 - v else 0
+
+let redzone_code = function
+  | Memobj.Heap -> heap_redzone
+  | Memobj.Stack -> stack_redzone
+  | Memobj.Global -> global_redzone
+
+let describe v =
+  if v <= 64 then Printf.sprintf "(%d)-folded" (64 - v)
+  else if v <= 71 then Printf.sprintf "%d-partial" (72 - v)
+  else if v = heap_redzone then "heap-redzone"
+  else if v = freed then "freed"
+  else if v = stack_redzone then "stack-redzone"
+  else if v = global_redzone then "global-redzone"
+  else if v = unallocated then "unallocated"
+  else Printf.sprintf "error(%d)" v

@@ -1,0 +1,60 @@
+(** GiantSan's shadow state codes (Definition 1, §4.1).
+
+    One unsigned shadow byte [m\[p\]] per 8-byte segment:
+
+    - [m\[p\] = 64 - i]   : the p-th segment is an (i)-folded segment — it and
+      the [2^i - 1] segments after it are all "good" (fully addressable);
+    - [m\[p\] = 72 - k]   : k-partial segment, only the first [k] bytes
+      (1..7) are addressable;
+    - [m\[p\] > 72]       : error codes (redzone, freed, unallocated, ...).
+
+    The encoding is monotone: a smaller state code means more consecutive
+    addressable bytes follow — one unsigned compare answers "is the folding
+    degree at least d?". *)
+
+val good : int
+(** The (0)-folded code, 64: exactly this segment is known good. *)
+
+val folded : int -> int
+(** [folded i] is the (i)-folded code [64 - i]. [0 <= i <= max_degree]. *)
+
+val degree : int -> int
+(** Inverse of [folded] for folded codes. *)
+
+val partial : int -> int
+(** [partial k] is the k-partial code [72 - k], [1 <= k <= 7]. *)
+
+val max_degree : int
+(** Folding degree cap. The paper bounds x by 64 (object sizes < 2^64); we
+    cap at 45 so [8 * 2^x] stays comfortably within OCaml's 63-bit ints. *)
+
+val is_folded : int -> bool
+(** [v <= 64]. *)
+
+val is_partial : int -> bool
+val is_error : int -> bool
+
+(** Error codes (all > 72, keeping Definition 1's monotonicity). *)
+
+val heap_redzone : int
+
+val freed : int
+val stack_redzone : int
+val global_redzone : int
+val unallocated : int
+
+val covered_bytes : int -> int
+(** [covered_bytes v] is the number of addressable bytes guaranteed to start
+    at the segment carrying state [v]: [8 * 2^i] for an (i)-folded code, [0]
+    otherwise. This is the paper's branch-free trick
+    [(v <= 64) << (67 - v)], implemented with an explicit guard because
+    OCaml's [lsl] by a negative amount is undefined. *)
+
+val addressable_in_segment : int -> int
+(** Addressable prefix length of the single segment: 8 if folded, [k] if
+    k-partial, 0 if error. *)
+
+val redzone_code : Giantsan_memsim.Memobj.kind -> int
+val describe : int -> string
+(** Human-readable rendering, e.g. ["(3)-folded"], ["4-partial"],
+    ["heap-redzone"]. *)

@@ -1,0 +1,137 @@
+(** The mini pointer IR.
+
+    A deliberately small stand-in for the LLVM IR the real GiantSan pass
+    operates on, yet rich enough to express every idiom the paper's
+    instrumentation reasons about (Table 1, Figure 8): constant-offset
+    accesses, [memset]/[memcpy] intrinsics, counted loops with affine
+    subscripts, unbounded loops with data-dependent subscripts, and
+    pointers flowing through locals.
+
+    Every memory access and every loop carries a unique integer id assigned
+    by {!Builder}; instrumentation plans key their decisions on those ids. *)
+
+type width = W1 | W2 | W4 | W8
+
+let bytes_of_width = function W1 -> 1 | W2 -> 2 | W4 -> 4 | W8 -> 8
+
+type binop = Add | Sub | Mul | Div | Rem
+type cmp = Lt | Le | Gt | Ge | Eq | Ne
+
+type expr =
+  | Int of int
+  | Var of string
+  | Bin of binop * expr * expr
+  | Cmp of cmp * expr * expr  (** 1 if true, 0 otherwise *)
+  | Load of access  (** memory read; checked like any access *)
+
+and access = {
+  acc_id : int;
+  base : string;  (** pointer-holding variable *)
+  index : expr;  (** element index *)
+  scale : int;  (** bytes per element *)
+  disp : int;  (** constant byte displacement *)
+  width : width;
+}
+(** Effective address: [env(base) + index * scale + disp]. *)
+
+type stmt =
+  | Assign of string * expr
+  | Store of access * expr
+  | Malloc of string * expr  (** var := malloc(size) *)
+  | Alloca of string * expr
+      (** var := stack allocation in the current frame; freed (and its
+          shadow poisoned) automatically when the frame returns *)
+  | Free of expr
+  | Memset of { mem_id : int; dst : string; doff : expr; len : expr; value : expr }
+  | Memcpy of {
+      mem_id : int;
+      dst : string;
+      doff : expr;
+      src : string;
+      soff : expr;
+      len : expr;
+    }
+  | For of { loop_id : int; idx : string; lo : expr; hi : expr; body : stmt list }
+      (** counted loop: [for idx = lo; idx < hi; idx++] — the shape SCEV
+          loop-bound analysis understands *)
+  | While of { loop_id : int; cond : expr; body : stmt list }
+      (** unbounded loop: bounds unknown statically *)
+  | If of { cond : expr; then_ : stmt list; else_ : stmt list }
+  | Call of { dst : string option; callee : string; args : expr list }
+      (** call a program-level function; its allocas live until it returns.
+          Calls are optimization barriers: the instrumentation is
+          intra-procedural, like the paper's use of LLVM's must-alias. *)
+  | Return of expr option
+
+type func = { fn_name : string; fn_params : string list; fn_body : stmt list }
+
+type program = {
+  name : string;
+  globals : (string * int) list;
+      (** global arrays (name, byte size): allocated and poisoned with
+          global redzones before [body] runs, never freed — like ASan's
+          instrumented globals *)
+  funcs : func list;
+  body : stmt list;
+}
+
+(** {2 Structural helpers} *)
+
+let rec expr_accesses e =
+  match e with
+  | Int _ | Var _ -> []
+  | Bin (_, a, b) | Cmp (_, a, b) -> expr_accesses a @ expr_accesses b
+  | Load acc -> (acc :: expr_accesses acc.index)
+
+let rec stmt_accesses s =
+  match s with
+  | Assign (_, e) | Free e -> expr_accesses e
+  | Store (acc, e) -> (acc :: expr_accesses acc.index) @ expr_accesses e
+  | Malloc (_, e) | Alloca (_, e) -> expr_accesses e
+  | Call { args; _ } -> List.concat_map expr_accesses args
+  | Return e -> (match e with None -> [] | Some e -> expr_accesses e)
+  | Memset { doff; len; value; _ } ->
+    expr_accesses doff @ expr_accesses len @ expr_accesses value
+  | Memcpy { doff; soff; len; _ } ->
+    expr_accesses doff @ expr_accesses soff @ expr_accesses len
+  | For { lo; hi; body; _ } ->
+    expr_accesses lo @ expr_accesses hi @ List.concat_map stmt_accesses body
+  | While { cond; body; _ } ->
+    expr_accesses cond @ List.concat_map stmt_accesses body
+  | If { cond; then_; else_ } ->
+    expr_accesses cond
+    @ List.concat_map stmt_accesses then_
+    @ List.concat_map stmt_accesses else_
+
+let program_accesses p =
+  List.concat_map stmt_accesses p.body
+  @ List.concat_map (fun f -> List.concat_map stmt_accesses f.fn_body) p.funcs
+
+let rec expr_vars e =
+  match e with
+  | Int _ -> []
+  | Var v -> [ v ]
+  | Bin (_, a, b) | Cmp (_, a, b) -> expr_vars a @ expr_vars b
+  | Load acc -> (acc.base :: expr_vars acc.index)
+
+(** Variables a statement list may write (assignments and malloc results). *)
+let rec assigned_vars stmts =
+  List.concat_map
+    (fun s ->
+      match s with
+      | Assign (v, _) | Malloc (v, _) | Alloca (v, _) -> [ v ]
+      | Call { dst = Some v; _ } -> [ v ]
+      | Call { dst = None; _ } | Store _ | Free _ | Memset _ | Memcpy _
+      | Return _ ->
+        []
+      | For { idx; body; _ } -> idx :: assigned_vars body
+      | While { body; _ } -> assigned_vars body
+      | If { then_; else_; _ } -> assigned_vars then_ @ assigned_vars else_)
+    stmts
+
+(** Does any expression in the statements read memory? (Loads make values
+    loop-variant for the purposes of invariance reasoning.) *)
+let rec expr_has_load = function
+  | Int _ | Var _ -> false
+  | Bin (_, a, b) | Cmp (_, a, b) -> expr_has_load a || expr_has_load b
+  | Load _ -> true

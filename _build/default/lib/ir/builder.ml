@@ -1,0 +1,61 @@
+type t = { mutable next_id : int }
+
+let create () = { next_id = 0 }
+
+let fresh t =
+  let id = t.next_id in
+  t.next_id <- Stdlib.( + ) id 1;
+  id
+
+let default_width scale =
+  match scale with
+  | 1 -> Ast.W1
+  | 2 -> Ast.W2
+  | 4 -> Ast.W4
+  | 8 -> Ast.W8
+  | _ -> Ast.W1
+
+let access t ?(disp = 0) ?width ~base ~index ~scale () =
+  let width = match width with Some w -> w | None -> default_width scale in
+  { Ast.acc_id = fresh t; base; index; scale; disp; width }
+
+let load t ?disp ?width ~base ~index ~scale () =
+  Ast.Load (access t ?disp ?width ~base ~index ~scale ())
+
+let store t ?disp ?width ~base ~index ~scale ~value () =
+  Ast.Store (access t ?disp ?width ~base ~index ~scale (), value)
+
+let memset t ~dst ~doff ~len ~value =
+  Ast.Memset { mem_id = fresh t; dst; doff; len; value }
+
+let memcpy t ~dst ~doff ~src ~soff ~len =
+  Ast.Memcpy { mem_id = fresh t; dst; doff; src; soff; len }
+
+let for_ t ~idx ~lo ~hi body = Ast.For { loop_id = fresh t; idx; lo; hi; body }
+let while_ t ~cond body = Ast.While { loop_id = fresh t; cond; body }
+
+let i n = Ast.Int n
+let v name = Ast.Var name
+let ( + ) a b = Ast.Bin (Ast.Add, a, b)
+let ( - ) a b = Ast.Bin (Ast.Sub, a, b)
+let ( * ) a b = Ast.Bin (Ast.Mul, a, b)
+let ( / ) a b = Ast.Bin (Ast.Div, a, b)
+let ( % ) a b = Ast.Bin (Ast.Rem, a, b)
+let ( < ) a b = Ast.Cmp (Ast.Lt, a, b)
+let ( <= ) a b = Ast.Cmp (Ast.Le, a, b)
+let ( > ) a b = Ast.Cmp (Ast.Gt, a, b)
+let ( >= ) a b = Ast.Cmp (Ast.Ge, a, b)
+let ( = ) a b = Ast.Cmp (Ast.Eq, a, b)
+let ( <> ) a b = Ast.Cmp (Ast.Ne, a, b)
+
+let assign name e = Ast.Assign (name, e)
+let malloc name size = Ast.Malloc (name, size)
+let alloca name size = Ast.Alloca (name, size)
+let free e = Ast.Free e
+let if_ cond then_ else_ = Ast.If { cond; then_; else_ }
+let call ?dst callee args = Ast.Call { dst; callee; args }
+let return_ e = Ast.Return e
+let func name ~params body = { Ast.fn_name = name; fn_params = params; fn_body = body }
+
+let program ?(globals = []) ?(funcs = []) name body =
+  { Ast.name; globals; funcs; body }

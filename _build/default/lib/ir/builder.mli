@@ -1,0 +1,76 @@
+(** Program construction with automatic id assignment.
+
+    A builder carries the id counter; all accesses and loops created through
+    it get unique ids, which the instrumentation plans key on. *)
+
+type t
+
+val create : unit -> t
+
+val access :
+  t -> ?disp:int -> ?width:Ast.width -> base:string -> index:Ast.expr ->
+  scale:int -> unit -> Ast.access
+(** Fresh access node; [width] defaults to the scale's natural width when
+    the scale is 1, 2, 4 or 8, else [W1]. *)
+
+val load :
+  t -> ?disp:int -> ?width:Ast.width -> base:string -> index:Ast.expr ->
+  scale:int -> unit -> Ast.expr
+
+val store :
+  t -> ?disp:int -> ?width:Ast.width -> base:string -> index:Ast.expr ->
+  scale:int -> value:Ast.expr -> unit -> Ast.stmt
+
+val memset :
+  t -> dst:string -> doff:Ast.expr -> len:Ast.expr -> value:Ast.expr ->
+  Ast.stmt
+
+val memcpy :
+  t -> dst:string -> doff:Ast.expr -> src:string -> soff:Ast.expr ->
+  len:Ast.expr -> Ast.stmt
+
+val for_ :
+  t -> idx:string -> lo:Ast.expr -> hi:Ast.expr -> Ast.stmt list -> Ast.stmt
+
+val while_ : t -> cond:Ast.expr -> Ast.stmt list -> Ast.stmt
+
+(** {2 Expression shorthands (no ids involved)} *)
+
+val i : int -> Ast.expr
+val v : string -> Ast.expr
+val ( + ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( - ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( * ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( / ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( % ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( < ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( <= ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( > ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( >= ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( = ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( <> ) : Ast.expr -> Ast.expr -> Ast.expr
+
+val assign : string -> Ast.expr -> Ast.stmt
+val malloc : string -> Ast.expr -> Ast.stmt
+
+val alloca : string -> Ast.expr -> Ast.stmt
+(** Stack allocation; reclaimed when the enclosing function returns. *)
+
+val free : Ast.expr -> Ast.stmt
+val if_ : Ast.expr -> Ast.stmt list -> Ast.stmt list -> Ast.stmt
+
+val call : ?dst:string -> string -> Ast.expr list -> Ast.stmt
+(** [call ~dst f args]: invoke function [f]; its return value (0 when it
+    falls off the end) lands in [dst] if given. *)
+
+val return_ : Ast.expr option -> Ast.stmt
+val func : string -> params:string list -> Ast.stmt list -> Ast.func
+
+val program :
+  ?globals:(string * int) list ->
+  ?funcs:Ast.func list ->
+  string ->
+  Ast.stmt list ->
+  Ast.program
+(** [globals] are (name, byte-size) pairs, materialized with global
+    redzones before the body runs. *)

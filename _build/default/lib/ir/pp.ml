@@ -1,0 +1,87 @@
+open Format
+
+let binop_str = function
+  | Ast.Add -> "+"
+  | Ast.Sub -> "-"
+  | Ast.Mul -> "*"
+  | Ast.Div -> "/"
+  | Ast.Rem -> "%"
+
+let cmp_str = function
+  | Ast.Lt -> "<"
+  | Ast.Le -> "<="
+  | Ast.Gt -> ">"
+  | Ast.Ge -> ">="
+  | Ast.Eq -> "=="
+  | Ast.Ne -> "!="
+
+let width_str = function
+  | Ast.W1 -> "i8"
+  | Ast.W2 -> "i16"
+  | Ast.W4 -> "i32"
+  | Ast.W8 -> "i64"
+
+let rec expr ppf = function
+  | Ast.Int n -> fprintf ppf "%d" n
+  | Ast.Var v -> fprintf ppf "%s" v
+  | Ast.Bin (op, a, b) -> fprintf ppf "(%a %s %a)" expr a (binop_str op) expr b
+  | Ast.Cmp (op, a, b) -> fprintf ppf "(%a %s %a)" expr a (cmp_str op) expr b
+  | Ast.Load acc -> access ppf acc
+
+and access ppf (a : Ast.access) =
+  if a.disp = 0 then
+    fprintf ppf "%s[%a]:%s*%d" a.base expr a.index (width_str a.width) a.scale
+  else
+    fprintf ppf "%s[%a]+%d:%s*%d" a.base expr a.index a.disp
+      (width_str a.width) a.scale
+
+let rec stmt ppf = function
+  | Ast.Assign (v, e) -> fprintf ppf "%s = %a;" v expr e
+  | Ast.Store (a, e) -> fprintf ppf "%a = %a;" access a expr e
+  | Ast.Malloc (v, e) -> fprintf ppf "%s = malloc(%a);" v expr e
+  | Ast.Alloca (v, e) -> fprintf ppf "%s = alloca(%a);" v expr e
+  | Ast.Free e -> fprintf ppf "free(%a);" expr e
+  | Ast.Call { dst; callee; args } ->
+    (match dst with
+    | Some v -> fprintf ppf "%s = %s(" v callee
+    | None -> fprintf ppf "%s(" callee);
+    List.iteri
+      (fun i a ->
+        if i > 0 then fprintf ppf ", ";
+        expr ppf a)
+      args;
+    fprintf ppf ");"
+  | Ast.Return None -> fprintf ppf "return;"
+  | Ast.Return (Some e) -> fprintf ppf "return %a;" expr e
+  | Ast.Memset { dst; doff; len; value; _ } ->
+    fprintf ppf "memset(%s + %a, %a, %a);" dst expr doff expr value expr len
+  | Ast.Memcpy { dst; doff; src; soff; len; _ } ->
+    fprintf ppf "memcpy(%s + %a, %s + %a, %a);" dst expr doff src expr soff
+      expr len
+  | Ast.For { idx; lo; hi; body; _ } ->
+    fprintf ppf "@[<v 2>for (%s = %a; %s < %a; %s++) {%a@]@,}" idx expr lo idx
+      expr hi idx block body
+  | Ast.While { cond; body; _ } ->
+    fprintf ppf "@[<v 2>while (%a) {%a@]@,}" expr cond block body
+  | Ast.If { cond; then_; else_ } ->
+    if else_ = [] then
+      fprintf ppf "@[<v 2>if (%a) {%a@]@,}" expr cond block then_
+    else
+      fprintf ppf "@[<v 2>if (%a) {%a@]@,@[<v 2>} else {%a@]@,}" expr cond
+        block then_ block else_
+
+and block ppf stmts = List.iter (fun s -> fprintf ppf "@,%a" stmt s) stmts
+
+let func ppf (f : Ast.func) =
+  fprintf ppf "@[<v 2>%s(%s) {%a@]@,}@," f.Ast.fn_name
+    (String.concat ", " f.Ast.fn_params)
+    block f.Ast.fn_body
+
+let program ppf (p : Ast.program) =
+  List.iter
+    (fun (name, size) -> fprintf ppf "global %s[%d];@," name size)
+    p.globals;
+  List.iter (func ppf) p.funcs;
+  fprintf ppf "@[<v 2>%s() {%a@]@,}@." p.name block p.body
+
+let program_to_string p = asprintf "%a" program p

@@ -1,0 +1,7 @@
+(** C-flavoured pretty printer for IR programs (used by the
+    instrumentation-demo example and error messages). *)
+
+val expr : Format.formatter -> Ast.expr -> unit
+val stmt : Format.formatter -> Ast.stmt -> unit
+val program : Format.formatter -> Ast.program -> unit
+val program_to_string : Ast.program -> string

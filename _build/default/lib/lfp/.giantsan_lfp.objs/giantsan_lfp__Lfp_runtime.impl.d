@@ -1,0 +1,1 @@
+lib/lfp/lfp_runtime.ml: Giantsan_memsim Giantsan_sanitizer Size_class

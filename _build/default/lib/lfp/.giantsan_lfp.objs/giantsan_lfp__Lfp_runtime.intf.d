@@ -1,0 +1,1 @@
+lib/lfp/lfp_runtime.mli: Giantsan_memsim Giantsan_sanitizer

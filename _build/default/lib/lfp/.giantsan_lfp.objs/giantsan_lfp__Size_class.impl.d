@@ -1,0 +1,1 @@
+lib/lfp/size_class.ml:

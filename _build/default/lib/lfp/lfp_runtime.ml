@@ -1,0 +1,92 @@
+module Memsim = Giantsan_memsim
+module San = Giantsan_sanitizer.Sanitizer
+module Counters = Giantsan_sanitizer.Counters
+module Report = Giantsan_sanitizer.Report
+
+let believed_end (obj : Memsim.Memobj.t) =
+  obj.base + Size_class.round_up obj.size
+
+let create config =
+  let heap = Memsim.Heap.create config in
+  let counters = Counters.create () in
+  let name = "LFP" in
+  let report ?base ~addr ~size () =
+    counters.Counters.errors <- counters.Counters.errors + 1;
+    Some
+      (Report.make
+         ~kind:(Report.classify_access heap ~addr ~base)
+         ~addr ~size ~detected_by:name)
+  in
+  let malloc ?kind size =
+    counters.Counters.mallocs <- counters.Counters.mallocs + 1;
+    (* The allocator hands out the class size so the slot really exists;
+       the oracle still only marks the requested bytes addressable, which
+       is exactly LFP's blind spot. *)
+    let obj = Memsim.Heap.malloc heap ?kind size in
+    obj
+  in
+  let free ptr =
+    counters.Counters.frees <- counters.Counters.frees + 1;
+    match Memsim.Heap.free heap ptr with
+    | Ok _ -> None
+    | Error err ->
+      let r = San.free_error_report ~name ~addr:ptr err in
+      if r <> None then
+        counters.Counters.errors <- counters.Counters.errors + 1;
+      r
+  in
+  (* Bounds check against the slot of [anchor] (the pointer the bounds were
+     derived from). *)
+  let bounds_check ~anchor ~lo ~hi =
+    counters.Counters.bounds_checks <- counters.Counters.bounds_checks + 1;
+    if anchor < 64 then report ~addr:anchor ~size:(hi - lo) ()
+    else
+      match Memsim.Heap.find_object heap anchor with
+      | None ->
+        (* The pointer does not point into any slot LFP knows about: the
+           derived bounds are garbage and real LFP performs no check. *)
+        None
+      | Some obj ->
+        if
+          obj.Memsim.Memobj.kind = Memsim.Memobj.Stack
+          && obj.Memsim.Memobj.size < 1024
+        then
+          (* LFP's stack protection is incomplete: only allocas moved to
+             its aligned regions (large arrays) carry derivable bounds.
+             This is why Table 3 shows LFP catching a sliver of CWE-121. *)
+          None
+        else if obj.Memsim.Memobj.status <> Memsim.Memobj.Live then
+          report ~base:obj.Memsim.Memobj.base ~addr:lo ~size:(hi - lo) ()
+        else begin
+          let b_lo = obj.Memsim.Memobj.base and b_hi = believed_end obj in
+          if lo < b_lo || hi > b_hi then
+            report ~base:obj.Memsim.Memobj.base
+              ~addr:(if lo < b_lo then lo else b_hi)
+              ~size:(hi - lo) ()
+          else None
+        end
+  in
+  let access ~base ~addr ~width =
+    let anchor = if base > 0 then base else addr in
+    bounds_check ~anchor ~lo:addr ~hi:(addr + width)
+  in
+  let check_region ~lo ~hi =
+    if hi <= lo then None else bounds_check ~anchor:lo ~lo ~hi
+  in
+  {
+    San.name;
+    heap;
+    counters;
+    shadow_loads = (fun () -> 0);
+    malloc;
+    free;
+    access;
+    check_region;
+    new_cache = (fun ~base -> { San.cache_base = base; cache_ub = 0 });
+    cached_access =
+      (fun cache ~off ~width ->
+        access ~base:cache.San.cache_base
+          ~addr:(cache.San.cache_base + off) ~width);
+    flush_cache = (fun _ -> None);
+    supports_operation_level = true;
+  }

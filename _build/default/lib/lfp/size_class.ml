@@ -1,0 +1,21 @@
+(* Classes: for each power of two p >= 16, the sizes p, p+p/4, p+p/2,
+   p+3p/4. This mirrors LFP's "more variety of allocation sizes" refinement
+   over BBC's plain powers of two. *)
+
+let round_up size =
+  if size <= 16 then 16
+  else begin
+    let p = ref 16 in
+    while !p * 2 < size do
+      p := !p * 2
+    done;
+    (* size is in (p, 2p]; quarter steps of p *)
+    let q = !p / 4 in
+    let steps = (size - !p + q - 1) / q in
+    !p + (steps * q)
+  end
+
+let slack size = round_up size - size
+
+let is_class_size n =
+  n >= 16 && round_up n = n

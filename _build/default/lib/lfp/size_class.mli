@@ -1,0 +1,19 @@
+(** Low-fat-pointer size classes.
+
+    LFP (and BBC before it) derives an object's bounds from the pointer
+    value alone, which is only possible if allocation sizes come from a
+    fixed menu of size classes. The price is over-approximation: an object
+    is believed to extend to its class size, so overflows that land inside
+    the rounding slack are invisible — the false-negative behaviour
+    Tables 3-5 quantify. We use LFP's quarter-spaced classes
+    (16, 20, 24, 28, 32, 40, 48, 56, 64, ...): denser than BBC's plain
+    powers of two but still leaving slack. *)
+
+val round_up : int -> int
+(** Smallest class size >= the requested size (minimum class 16). *)
+
+val slack : int -> int
+(** [slack size] is [round_up size - size]: bytes of overflow the class
+    cannot see. *)
+
+val is_class_size : int -> bool

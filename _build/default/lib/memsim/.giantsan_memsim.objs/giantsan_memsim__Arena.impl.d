@@ -1,0 +1,1 @@
+lib/memsim/arena.ml: Bytes Char Giantsan_util Int32 Int64 Printf

@@ -1,0 +1,1 @@
+lib/memsim/heap.ml: Arena Giantsan_util Hashtbl List Memobj Oracle Quarantine

@@ -1,0 +1,1 @@
+lib/memsim/memobj.mli: Format

@@ -1,0 +1,1 @@
+lib/memsim/oracle.ml: Array Bytes Giantsan_util Memobj Printf

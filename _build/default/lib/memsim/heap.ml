@@ -1,0 +1,169 @@
+module Bitops = Giantsan_util.Bitops
+
+type config = { arena_size : int; redzone : int; quarantine_budget : int }
+
+let default_config =
+  { arena_size = 1 lsl 20; redzone = 16; quarantine_budget = 256 * 1024 }
+
+type free_error = Free_null | Invalid_free | Free_not_at_start | Double_free
+type free_outcome = { freed : Memobj.t; evicted : Memobj.t list }
+
+type t = {
+  arena : Arena.t;
+  oracle : Oracle.t;
+  config : config;
+  quarantine : Quarantine.t;
+  free_cache : (int, int list ref) Hashtbl.t;  (* block_len -> block bases *)
+  mutable brk : int;
+  mutable next_id : int;
+  mutable live_bytes : int;
+}
+
+let create config =
+  assert (config.redzone >= 1);
+  let arena = Arena.create ~size:config.arena_size in
+  {
+    arena;
+    oracle = Oracle.create ~arena_size:(Arena.size arena);
+    config;
+    quarantine = Quarantine.create ~budget:config.quarantine_budget;
+    free_cache = Hashtbl.create 64;
+    (* Address 0 is NULL; leave a small unallocated guard at the bottom so
+       near-null dereferences land on unallocated bytes. *)
+    brk = 64;
+    next_id = 0;
+    live_bytes = 0;
+  }
+
+let arena t = t.arena
+let oracle t = t.oracle
+let config t = t.config
+let segment_count t = Arena.size t.arena / 8
+let live_bytes t = t.live_bytes
+
+(* Block layout: [left redzone][object, 8-aligned][right redzone].
+   The left redzone is the configured redzone rounded up to 8 so the object
+   base stays aligned; the right redzone absorbs the alignment padding of
+   the object size, guaranteeing at least [redzone] poisoned bytes after
+   the object while keeping the next block 8-aligned. *)
+let layout config size =
+  let left = Bitops.align_up 8 config.redzone in
+  let right = Bitops.align_up 8 (size + config.redzone) - size in
+  let block_len = left + size + right in
+  (left, block_len)
+
+let take_cached t block_len =
+  match Hashtbl.find_opt t.free_cache block_len with
+  | Some ({ contents = base :: rest } as cell) ->
+    cell := rest;
+    Some base
+  | _ -> None
+
+let put_cached t block_len base =
+  match Hashtbl.find_opt t.free_cache block_len with
+  | Some cell -> cell := base :: !cell
+  | None -> Hashtbl.add t.free_cache block_len (ref [ base ])
+
+(* First-fit fallback once the bump pointer is exhausted: take the smallest
+   recycled block that fits, splitting off the remainder. Returns the block
+   base and the length actually consumed (the whole block when the
+   remainder is too small to manage on its own). Keeps long-running
+   fragmented workloads alive, like a real allocator. *)
+let take_fit t block_len =
+  let best = ref None in
+  Hashtbl.iter
+    (fun len cell ->
+      if len >= block_len && !cell <> [] then
+        match !best with
+        | Some (blen, _) when blen <= len -> ()
+        | _ -> best := Some (len, cell))
+    t.free_cache;
+  match !best with
+  | None -> None
+  | Some (len, cell) -> (
+    match !cell with
+    | [] -> None
+    | base :: rest ->
+      cell := rest;
+      let remainder = len - block_len in
+      if remainder >= 32 then begin
+        put_cached t remainder (base + block_len);
+        Some (base, block_len)
+      end
+      else Some (base, len))
+
+let recycle t (obj : Memobj.t) =
+  obj.status <- Recycled;
+  Oracle.set_range t.oracle ~lo:obj.block_base ~hi:(Memobj.block_end obj)
+    Oracle.Unallocated;
+  Oracle.set_owner t.oracle ~lo:obj.block_base ~hi:(Memobj.block_end obj) None;
+  put_cached t obj.block_len obj.block_base
+
+let malloc t ?(kind = Memobj.Heap) size =
+  if size < 0 then invalid_arg "Heap.malloc: negative size";
+  let left, block_len = layout t.config size in
+  let block_base, block_len =
+    match take_cached t block_len with
+    | Some base -> (base, block_len)
+    | None ->
+      if t.brk + block_len <= Arena.size t.arena then begin
+        let base = t.brk in
+        t.brk <- base + block_len;
+        (base, block_len)
+      end
+      else (
+        (* bump space gone: first-fit over recycled blocks *)
+        match take_fit t block_len with
+        | Some (base, len) -> (base, len)
+        | None -> raise Out_of_memory)
+  in
+  let base = block_base + left in
+  let obj =
+    {
+      Memobj.id = t.next_id;
+      kind;
+      base;
+      size;
+      block_base;
+      block_len;
+      status = Live;
+    }
+  in
+  t.next_id <- t.next_id + 1;
+  Oracle.set_range t.oracle ~lo:block_base ~hi:base Oracle.Redzone;
+  Oracle.set_range t.oracle ~lo:base ~hi:(base + size) Oracle.Addressable;
+  Oracle.set_range t.oracle ~lo:(base + size) ~hi:(block_base + block_len)
+    Oracle.Redzone;
+  Oracle.set_owner t.oracle ~lo:block_base ~hi:(block_base + block_len)
+    (Some obj);
+  t.live_bytes <- t.live_bytes + size;
+  obj
+
+let find_object t addr =
+  if addr < 0 || addr >= Arena.size t.arena then None
+  else Oracle.owner t.oracle addr
+
+let free t ptr =
+  if ptr = 0 then Error Free_null
+  else
+    match find_object t ptr with
+    | None -> Error Invalid_free
+    | Some obj ->
+      if obj.Memobj.status <> Live then Error Double_free
+      else if ptr <> obj.Memobj.base then Error Free_not_at_start
+      else begin
+        obj.status <- Quarantined;
+        t.live_bytes <- t.live_bytes - obj.size;
+        Oracle.set_range t.oracle ~lo:obj.base ~hi:(obj.base + obj.size)
+          Oracle.Freed;
+        let evicted =
+          match obj.kind with
+          | Heap -> Quarantine.push t.quarantine obj
+          | Stack | Global ->
+            (* Stack frames and globals are not quarantined: their memory is
+               reusable as soon as the frame pops. *)
+            [ obj ]
+        in
+        List.iter (recycle t) evicted;
+        Ok { freed = obj; evicted }
+      end

@@ -1,0 +1,58 @@
+(** The simulated allocator: 8-byte-aligned placement with redzones and a
+    freed-memory quarantine, mirroring the ASan allocator that GiantSan
+    reuses unchanged (§4.5).
+
+    The heap maintains ground truth (oracle byte states, object registry)
+    but never touches shadow memory: each sanitizer runtime wraps [malloc] /
+    [free] and poisons shadow according to its own encoding. *)
+
+type config = {
+  arena_size : int;
+  redzone : int;
+      (** requested inter-object redzone in bytes (paper default 16; the
+          anchor-based study also uses 1 and 512). Rounded up so blocks stay
+          8-aligned. *)
+  quarantine_budget : int;  (** bytes of freed memory kept poisoned *)
+}
+
+val default_config : config
+(** 1 MiB arena, 16-byte redzones, 256 KiB quarantine. *)
+
+type t
+
+type free_error =
+  | Free_null  (** benign: [free NULL] is a no-op *)
+  | Invalid_free  (** pointer into memory the allocator never returned *)
+  | Free_not_at_start  (** pointer inside an object but not its base (CWE-761) *)
+  | Double_free  (** object already freed *)
+
+type free_outcome = {
+  freed : Memobj.t;
+  evicted : Memobj.t list;
+      (** blocks leaving quarantine; their memory is reusable again and the
+          wrapping sanitizer must reset their shadow *)
+}
+
+val create : config -> t
+val arena : t -> Arena.t
+val oracle : t -> Oracle.t
+val config : t -> config
+
+val malloc : t -> ?kind:Memobj.kind -> int -> Memobj.t
+(** Allocate [size] bytes ([size >= 0]). The object's [base] is 8-aligned
+    and its addressable range is exactly [size] bytes; everything else in
+    the block is redzone. Raises [Out_of_memory] when the arena is full. *)
+
+val free : t -> int -> (free_outcome, free_error) result
+(** Free by pointer. On success the object's bytes become [Freed] and the
+    block enters quarantine (heap objects) — stack/global objects are
+    recycled immediately. *)
+
+val find_object : t -> int -> Memobj.t option
+(** Object whose block (redzones included) covers the address. *)
+
+val live_bytes : t -> int
+(** Total addressable bytes currently live (for tests). *)
+
+val segment_count : t -> int
+(** Number of 8-byte segments in the arena (= shadow size). *)

@@ -1,0 +1,61 @@
+type byte_state = Unallocated | Addressable | Redzone | Freed
+
+type t = {
+  flags : Bytes.t;  (* one state byte per arena byte *)
+  owners : Memobj.t option array;  (* one owner slot per 8-byte segment *)
+  size : int;
+}
+
+let code = function
+  | Unallocated -> '\000'
+  | Addressable -> '\001'
+  | Redzone -> '\002'
+  | Freed -> '\003'
+
+let decode = function
+  | '\000' -> Unallocated
+  | '\001' -> Addressable
+  | '\002' -> Redzone
+  | '\003' -> Freed
+  | _ -> assert false
+
+let create ~arena_size =
+  let size = max 64 (Giantsan_util.Bitops.align_up 8 arena_size) in
+  { flags = Bytes.make size '\000'; owners = Array.make (size / 8) None; size }
+
+let check t lo hi =
+  if lo < 0 || hi > t.size || lo > hi then
+    invalid_arg (Printf.sprintf "Oracle: bad range [%d, %d)" lo hi)
+
+let state t addr =
+  check t addr (addr + 1);
+  decode (Bytes.get t.flags addr)
+
+let set_range t ~lo ~hi st =
+  check t lo hi;
+  Bytes.fill t.flags lo (hi - lo) (code st)
+
+let range_addressable t ~lo ~hi =
+  check t lo hi;
+  let rec go i = i >= hi || (Bytes.get t.flags i = '\001' && go (i + 1)) in
+  go lo
+
+let first_bad t ~lo ~hi =
+  check t lo hi;
+  let rec go i =
+    if i >= hi then None
+    else if Bytes.get t.flags i <> '\001' then Some i
+    else go (i + 1)
+  in
+  go lo
+
+let set_owner t ~lo ~hi obj =
+  check t lo hi;
+  if hi > lo then
+    for seg = lo / 8 to (hi - 1) / 8 do
+      t.owners.(seg) <- obj
+    done
+
+let owner t addr =
+  check t addr (addr + 1);
+  t.owners.(addr / 8)

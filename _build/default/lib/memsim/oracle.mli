@@ -1,0 +1,32 @@
+(** Byte-level ground truth about addressability.
+
+    The oracle is the referee: property tests compare every sanitizer's
+    verdicts against it, and the bug harness uses it to decide whether a
+    synthetic access really was a violation. It is maintained by the heap,
+    never consulted by sanitizers. *)
+
+type byte_state =
+  | Unallocated  (** never allocated, or recycled after quarantine *)
+  | Addressable  (** inside a live object *)
+  | Redzone  (** inside a redzone of a live or quarantined object *)
+  | Freed  (** inside a quarantined (freed, not yet recycled) object *)
+
+type t
+
+val create : arena_size:int -> t
+val state : t -> int -> byte_state
+val set_range : t -> lo:int -> hi:int -> byte_state -> unit
+(** Set bytes [lo, hi) to a state. *)
+
+val range_addressable : t -> lo:int -> hi:int -> bool
+(** Are all bytes of [lo, hi) addressable? [true] for an empty range. *)
+
+val first_bad : t -> lo:int -> hi:int -> int option
+(** Address of the first non-addressable byte in [lo, hi), if any. *)
+
+val set_owner : t -> lo:int -> hi:int -> Memobj.t option -> unit
+(** Record which object owns the 8-byte segments overlapping [lo, hi)
+    (redzones included). *)
+
+val owner : t -> int -> Memobj.t option
+(** The object whose block covers [addr], if any. *)

@@ -1,0 +1,25 @@
+type t = { budget : int; queue : Memobj.t Queue.t; mutable held : int }
+
+let create ~budget =
+  assert (budget >= 0);
+  { budget; queue = Queue.create (); held = 0 }
+
+let push t obj =
+  Queue.push obj t.queue;
+  t.held <- t.held + obj.Memobj.block_len;
+  let evicted = ref [] in
+  while t.held > t.budget && not (Queue.is_empty t.queue) do
+    let old = Queue.pop t.queue in
+    t.held <- t.held - old.Memobj.block_len;
+    evicted := old :: !evicted
+  done;
+  List.rev !evicted
+
+let flush t =
+  let all = List.of_seq (Queue.to_seq t.queue) in
+  Queue.clear t.queue;
+  t.held <- 0;
+  all
+
+let bytes_held t = t.held
+let length t = Queue.length t.queue

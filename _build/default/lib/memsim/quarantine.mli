@@ -1,0 +1,22 @@
+(** FIFO quarantine for freed heap blocks, as in ASan: a freed block's memory
+    is kept poisoned (not reusable) until the total quarantined byte count
+    exceeds a budget, at which point the oldest blocks are evicted and become
+    reusable again. Temporal-error detection holds only while a block sits in
+    the queue — eviction opens the (rare) bypass window the paper discusses
+    in §5.4. *)
+
+type t
+
+val create : budget:int -> t
+(** [budget] is the maximum number of bytes held in quarantine. A budget of
+    [0] disables quarantine (every push evicts immediately). *)
+
+val push : t -> Memobj.t -> Memobj.t list
+(** Enqueue a freed object's block; returns the objects evicted to stay
+    within budget (possibly including the one just pushed). *)
+
+val flush : t -> Memobj.t list
+(** Evict everything (used at teardown). *)
+
+val bytes_held : t -> int
+val length : t -> int

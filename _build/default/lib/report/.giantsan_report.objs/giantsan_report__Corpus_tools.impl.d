@@ -1,0 +1,1 @@
+lib/report/corpus_tools.ml: Buffer Giantsan_bugs Giantsan_util List Printf

@@ -1,0 +1,1 @@
+lib/report/corpus_tools.mli:

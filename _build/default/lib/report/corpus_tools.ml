@@ -1,0 +1,112 @@
+module Table = Giantsan_util.Table
+module Scenario = Giantsan_bugs.Scenario
+module Difftest = Giantsan_bugs.Difftest
+module Harness = Giantsan_bugs.Harness
+module Softbound = Giantsan_bugs.Softbound
+module Juliet = Giantsan_bugs.Juliet
+module Magma = Giantsan_bugs.Magma
+module Cves = Giantsan_bugs.Cves
+
+let violations =
+  [
+    Difftest.V_overflow; Difftest.V_underflow; Difftest.V_far_jump;
+    Difftest.V_uaf; Difftest.V_double_free; Difftest.V_mid_free;
+  ]
+
+let fuzz ~seed ~count =
+  let buf = Buffer.create 2048 in
+  let anomalies = ref [] in
+  let note fmt = Printf.ksprintf (fun s -> anomalies := s :: !anomalies) fmt in
+  let detect_row label scenarios ~expect_asan_family =
+    let det tool = Harness.count_detected tool scenarios in
+    let sb =
+      List.length
+        (List.filter (Softbound.run_with_laundering ~launder_slots:[]) scenarios)
+    in
+    let g = det Harness.Giantsan
+    and a = det Harness.Asan
+    and am = det Harness.Asanmm
+    and l = det Harness.Lfp in
+    let n = List.length scenarios in
+    (match expect_asan_family with
+    | `All ->
+      if g < n then note "%s: GiantSan missed %d" label (n - g);
+      if a < n then note "%s: ASan missed %d" label (n - a);
+      if am < n then note "%s: ASan-- missed %d" label (n - am)
+    | `None ->
+      if g > 0 then note "%s: GiantSan false positives: %d" label g;
+      if a > 0 then note "%s: ASan false positives: %d" label a;
+      if am > 0 then note "%s: ASan-- false positives: %d" label am;
+      if l > 0 then note "%s: LFP false positives: %d" label l;
+      if sb > 0 then note "%s: SoftBound false positives: %d" label sb
+    | `Giantsan_only ->
+      if g < n then note "%s: GiantSan missed %d" label (n - g);
+      if a > 0 then note "%s: ASan unexpectedly caught %d" label a);
+    [
+      label; string_of_int g; string_of_int a; string_of_int am;
+      string_of_int l; string_of_int sb; string_of_int n;
+    ]
+  in
+  let clean =
+    List.init count (fun i -> Difftest.gen_clean ~seed:(seed + i))
+  in
+  let rows =
+    detect_row "clean" clean ~expect_asan_family:`None
+    :: List.map
+         (fun v ->
+           let scenarios =
+             List.init count (fun i -> Difftest.gen_buggy ~seed:(seed + i) v)
+           in
+           let expect =
+             match v with
+             | Difftest.V_far_jump -> `Giantsan_only
+             | _ -> `All
+           in
+           detect_row (Difftest.violation_name v) scenarios
+             ~expect_asan_family:expect)
+         violations
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "Differential fuzz: %d scenarios per row (seed %d)\n\n" count seed);
+  Buffer.add_string buf
+    (Table.render
+       ([ "population"; "GiantSan"; "ASan"; "ASan--"; "LFP"; "SoftBound"; "n" ]
+       :: rows));
+  (match List.rev !anomalies with
+  | [] -> Buffer.add_string buf "\nNo anomalies.\n"
+  | l ->
+    Buffer.add_string buf "\nANOMALIES:\n";
+    List.iter (fun a -> Buffer.add_string buf ("  " ^ a ^ "\n")) l);
+  Buffer.contents buf
+
+let validate () =
+  let buf = Buffer.create 1024 in
+  let check label scenarios =
+    let errors = Harness.validate_corpus scenarios in
+    Buffer.add_string buf
+      (Printf.sprintf "%-28s %6d cases  %s\n" label (List.length scenarios)
+         (if errors = [] then "OK"
+          else Printf.sprintf "%d LABEL ERRORS" (List.length errors)));
+    List.iteri
+      (fun i e -> if i < 5 then Buffer.add_string buf ("    " ^ e ^ "\n"))
+      errors
+  in
+  List.iter
+    (fun cwe ->
+      check
+        (Printf.sprintf "juliet CWE-%d (buggy+clean)" cwe)
+        (Juliet.buggy_cases cwe @ Juliet.clean_cases cwe))
+    Juliet.cwe_ids;
+  List.iter
+    (fun p -> check ("magma " ^ p.Magma.mg_name) (Magma.cases p))
+    Magma.projects;
+  check "cves"
+    (List.map (fun (c : Cves.t) -> c.Cves.cve_scenario) Cves.all);
+  check "difftest smoke"
+    (List.init 200 (fun i ->
+         if i mod 2 = 0 then Difftest.gen_clean ~seed:i
+         else
+           Difftest.gen_buggy ~seed:i
+             (List.nth violations (i mod List.length violations))));
+  Buffer.contents buf

@@ -1,0 +1,13 @@
+(** CLI-facing corpus utilities: differential fuzzing runs and corpus
+    ground-truth validation. *)
+
+val fuzz : seed:int -> count:int -> string
+(** Run [count] random clean scenarios and [count] scenarios per violation
+    kind through all four tools plus the SoftBound-flavoured checker;
+    render a detection matrix and a list of anomalies (false positives, or
+    ASan-family misses of near-object violations). An empty anomaly list is
+    the expected steady state. *)
+
+val validate : unit -> string
+(** Re-validate the ground-truth labels of every generated corpus (Juliet,
+    Magma, CVEs, fuzzer smoke samples) and report. *)

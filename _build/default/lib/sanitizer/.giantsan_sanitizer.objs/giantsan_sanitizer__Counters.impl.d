@@ -1,0 +1,1 @@
+lib/sanitizer/counters.ml: Format List

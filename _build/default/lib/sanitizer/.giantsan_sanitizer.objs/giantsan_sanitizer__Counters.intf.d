@@ -1,0 +1,1 @@
+lib/sanitizer/counters.mli: Format

@@ -1,0 +1,1 @@
+lib/sanitizer/interceptors.ml: Fun Giantsan_memsim List Report Sanitizer

@@ -1,0 +1,1 @@
+lib/sanitizer/interceptors.mli: Giantsan_memsim Report Sanitizer

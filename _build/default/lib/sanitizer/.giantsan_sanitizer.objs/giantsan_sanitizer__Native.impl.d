@@ -1,0 +1,1 @@
+lib/sanitizer/native.ml: Counters Giantsan_memsim Sanitizer

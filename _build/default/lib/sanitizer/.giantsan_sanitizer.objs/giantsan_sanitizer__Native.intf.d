@@ -1,0 +1,1 @@
+lib/sanitizer/native.mli: Giantsan_memsim Sanitizer

@@ -1,0 +1,1 @@
+lib/sanitizer/report.ml: Format Giantsan_memsim

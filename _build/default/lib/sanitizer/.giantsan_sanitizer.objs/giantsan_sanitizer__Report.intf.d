@@ -1,0 +1,1 @@
+lib/sanitizer/report.mli: Format Giantsan_memsim

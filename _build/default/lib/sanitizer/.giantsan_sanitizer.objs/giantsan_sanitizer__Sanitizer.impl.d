@@ -1,0 +1,1 @@
+lib/sanitizer/sanitizer.ml: Counters Giantsan_memsim Option Report

@@ -1,0 +1,1 @@
+lib/sanitizer/sanitizer.mli: Counters Giantsan_memsim Report

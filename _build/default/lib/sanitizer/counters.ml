@@ -1,0 +1,85 @@
+type t = {
+  mutable mallocs : int;
+  mutable frees : int;
+  mutable poison_segments : int;
+  mutable instr_checks : int;
+  mutable region_checks : int;
+  mutable fast_checks : int;
+  mutable slow_checks : int;
+  mutable cache_hits : int;
+  mutable cache_updates : int;
+  mutable underflow_checks : int;
+  mutable bounds_checks : int;
+  mutable errors : int;
+}
+
+let create () =
+  {
+    mallocs = 0;
+    frees = 0;
+    poison_segments = 0;
+    instr_checks = 0;
+    region_checks = 0;
+    fast_checks = 0;
+    slow_checks = 0;
+    cache_hits = 0;
+    cache_updates = 0;
+    underflow_checks = 0;
+    bounds_checks = 0;
+    errors = 0;
+  }
+
+let reset t =
+  t.mallocs <- 0;
+  t.frees <- 0;
+  t.poison_segments <- 0;
+  t.instr_checks <- 0;
+  t.region_checks <- 0;
+  t.fast_checks <- 0;
+  t.slow_checks <- 0;
+  t.cache_hits <- 0;
+  t.cache_updates <- 0;
+  t.underflow_checks <- 0;
+  t.bounds_checks <- 0;
+  t.errors <- 0
+
+let add acc x =
+  acc.mallocs <- acc.mallocs + x.mallocs;
+  acc.frees <- acc.frees + x.frees;
+  acc.poison_segments <- acc.poison_segments + x.poison_segments;
+  acc.instr_checks <- acc.instr_checks + x.instr_checks;
+  acc.region_checks <- acc.region_checks + x.region_checks;
+  acc.fast_checks <- acc.fast_checks + x.fast_checks;
+  acc.slow_checks <- acc.slow_checks + x.slow_checks;
+  acc.cache_hits <- acc.cache_hits + x.cache_hits;
+  acc.cache_updates <- acc.cache_updates + x.cache_updates;
+  acc.underflow_checks <- acc.underflow_checks + x.underflow_checks;
+  acc.bounds_checks <- acc.bounds_checks + x.bounds_checks;
+  acc.errors <- acc.errors + x.errors
+
+let total_checks t =
+  t.instr_checks + t.region_checks + t.cache_hits + t.cache_updates
+  + t.bounds_checks
+
+let to_assoc t =
+  [
+    ("mallocs", t.mallocs);
+    ("frees", t.frees);
+    ("poison_segments", t.poison_segments);
+    ("instr_checks", t.instr_checks);
+    ("region_checks", t.region_checks);
+    ("fast_checks", t.fast_checks);
+    ("slow_checks", t.slow_checks);
+    ("cache_hits", t.cache_hits);
+    ("cache_updates", t.cache_updates);
+    ("underflow_checks", t.underflow_checks);
+    ("bounds_checks", t.bounds_checks);
+    ("errors", t.errors);
+  ]
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (k, v) -> Format.fprintf ppf "%-16s %d@," k v)
+    (to_assoc t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,30 @@
+(** Event counters: every sanitizer records what its runtime did. The cost
+    model (Table 2) and the optimization breakdown (Figure 10) are computed
+    from these, and the unit tests assert on them — e.g. that a folded
+    region check really loaded O(1) shadow bytes. *)
+
+type t = {
+  mutable mallocs : int;
+  mutable frees : int;
+  mutable poison_segments : int;  (** shadow bytes written while poisoning *)
+  mutable instr_checks : int;  (** instruction-level checks executed *)
+  mutable region_checks : int;  (** operation-level region checks executed *)
+  mutable fast_checks : int;  (** region checks settled by the fast path *)
+  mutable slow_checks : int;  (** region checks that entered the slow path *)
+  mutable cache_hits : int;  (** accesses settled by the quasi-bound *)
+  mutable cache_updates : int;  (** quasi-bound refreshes (metadata loads) *)
+  mutable underflow_checks : int;  (** dedicated negative-offset checks *)
+  mutable bounds_checks : int;  (** LFP-style pointer-derived bound checks *)
+  mutable errors : int;  (** reports produced *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+val add : t -> t -> unit
+(** [add acc x] accumulates [x] into [acc]. *)
+
+val total_checks : t -> int
+(** All check executions regardless of flavour. *)
+
+val to_assoc : t -> (string * int) list
+val pp : Format.formatter -> t -> unit

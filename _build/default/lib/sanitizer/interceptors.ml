@@ -1,0 +1,112 @@
+module Memsim = Giantsan_memsim
+
+let arena (san : Sanitizer.t) = Memsim.Heap.arena san.Sanitizer.heap
+
+let collect checks = List.filter_map Fun.id checks
+
+let strlen (san : Sanitizer.t) ~addr =
+  let a = arena san in
+  let limit = Memsim.Arena.size a in
+  let rec scan i =
+    if addr + i >= limit then (i, false)
+    else if Memsim.Arena.load a ~addr:(addr + i) ~width:1 = 0 then (i, true)
+    else scan (i + 1)
+  in
+  let len, terminated = scan 0 in
+  let reports =
+    if not terminated then
+      [
+        Report.make ~kind:Report.Wild_access ~addr:(addr + len) ~size:1
+          ~detected_by:san.Sanitizer.name;
+      ]
+    else
+      collect [ san.Sanitizer.check_region ~lo:addr ~hi:(addr + len + 1) ]
+  in
+  (len, reports)
+
+let strcpy (san : Sanitizer.t) ~dst ~src =
+  let len, src_reports = strlen san ~addr:src in
+  let dst_reports =
+    collect [ san.Sanitizer.check_region ~lo:dst ~hi:(dst + len + 1) ]
+  in
+  let reports = src_reports @ dst_reports in
+  if reports = [] then
+    Memsim.Arena.blit (arena san) ~src ~dst ~len:(len + 1);
+  reports
+
+let strncpy (san : Sanitizer.t) ~dst ~src ~n =
+  if n <= 0 then []
+  else begin
+    let len, src_reports = strlen san ~addr:src in
+    let copy = min n (len + 1) in
+    let reports =
+      (if copy < n then src_reports
+       else collect [ san.Sanitizer.check_region ~lo:src ~hi:(src + n) ])
+      @ collect [ san.Sanitizer.check_region ~lo:dst ~hi:(dst + n) ]
+    in
+    if reports = [] then begin
+      let a = arena san in
+      Memsim.Arena.blit a ~src ~dst ~len:copy;
+      if copy < n then Memsim.Arena.fill a ~addr:(dst + copy) ~len:(n - copy) 0
+    end;
+    reports
+  end
+
+let strcat (san : Sanitizer.t) ~dst ~src =
+  let dlen, dst_reports = strlen san ~addr:dst in
+  if dst_reports <> [] then dst_reports
+  else strcpy san ~dst:(dst + dlen) ~src
+
+let memmove (san : Sanitizer.t) ~dst ~src ~n =
+  if n <= 0 then []
+  else begin
+    let reports =
+      collect
+        [
+          san.Sanitizer.check_region ~lo:src ~hi:(src + n);
+          san.Sanitizer.check_region ~lo:dst ~hi:(dst + n);
+        ]
+    in
+    if reports = [] then Memsim.Arena.blit (arena san) ~src ~dst ~len:n;
+    reports
+  end
+
+let memset (san : Sanitizer.t) ~dst ~n ~byte =
+  if n <= 0 then []
+  else begin
+    let reports = collect [ san.Sanitizer.check_region ~lo:dst ~hi:(dst + n) ] in
+    if reports = [] then Memsim.Arena.fill (arena san) ~addr:dst ~len:n byte;
+    reports
+  end
+
+let calloc (san : Sanitizer.t) ~count ~size =
+  assert (count >= 0 && size >= 0);
+  let total = count * size in
+  let obj = san.Sanitizer.malloc total in
+  if total > 0 then
+    Memsim.Arena.fill (arena san) ~addr:obj.Memsim.Memobj.base ~len:total 0;
+  obj
+
+let realloc (san : Sanitizer.t) ~ptr ~size =
+  if ptr = 0 then Ok (san.Sanitizer.malloc size)
+  else
+    match Memsim.Heap.find_object san.Sanitizer.heap ptr with
+    | Some old
+      when old.Memsim.Memobj.status = Memsim.Memobj.Live
+           && old.Memsim.Memobj.base = ptr ->
+      let fresh = san.Sanitizer.malloc size in
+      let keep = min size old.Memsim.Memobj.size in
+      if keep > 0 then
+        Memsim.Arena.blit (arena san) ~src:ptr
+          ~dst:fresh.Memsim.Memobj.base ~len:keep;
+      (match san.Sanitizer.free ptr with
+      | None -> Ok fresh
+      | Some r -> Error r)
+    | _ -> (
+      (* wild / mid-object / stale pointer: let free's detector speak *)
+      match san.Sanitizer.free ptr with
+      | Some r -> Error r
+      | None ->
+        Error
+          (Report.make ~kind:Report.Invalid_free ~addr:ptr ~size:0
+             ~detected_by:san.Sanitizer.name))

@@ -1,0 +1,42 @@
+(** Guardian-checked libc-style functions over the simulated arena.
+
+    ASan protects calls into uninstrumented standard functions with
+    interceptors that validate the touched region first (§4.5: "a runtime
+    guardian function invoked before calling standard functions (e.g.,
+    strcpy)"); GiantSan swaps the linear validation for its constant-time
+    region check. These helpers reproduce that layer for any
+    {!Sanitizer.t}: the region-check cost profile of the underlying tool
+    shows through ([check_region] is O(1) for GiantSan and LFP, linear for
+    ASan).
+
+    All functions return the reports their checks produced (empty list =
+    clean); the data operation is skipped when a check fails, mirroring
+    the interpreter's recovery semantics. *)
+
+val strlen : Sanitizer.t -> addr:int -> int * Report.t list
+(** Length of the NUL-terminated string at [addr]; the string bytes
+    including the terminator are then validated as one region. A string
+    that runs past the arena's end is reported and its length clamped. *)
+
+val strcpy : Sanitizer.t -> dst:int -> src:int -> Report.t list
+(** Validate [src] (strlen + NUL) and [dst] regions, then copy. *)
+
+val strncpy : Sanitizer.t -> dst:int -> src:int -> n:int -> Report.t list
+(** Copies exactly [n] bytes (padding with NULs, as C does), validating
+    both regions for the full [n]. *)
+
+val strcat : Sanitizer.t -> dst:int -> src:int -> Report.t list
+val memmove : Sanitizer.t -> dst:int -> src:int -> n:int -> Report.t list
+val memset : Sanitizer.t -> dst:int -> n:int -> byte:int -> Report.t list
+
+val calloc : Sanitizer.t -> count:int -> size:int -> Giantsan_memsim.Memobj.t
+(** [malloc (count * size)] with zero-fill. Raises [Out_of_memory] like
+    malloc; count/size overflow cannot happen with 63-bit ints at the
+    simulated scales, so no NULL-on-overflow path is modelled. *)
+
+val realloc :
+  Sanitizer.t -> ptr:int -> size:int ->
+  (Giantsan_memsim.Memobj.t, Report.t) result
+(** Grow/shrink semantics: allocate, copy [min old new] bytes, free the
+    old block (through the quarantine). [ptr = 0] behaves like malloc.
+    Freeing errors (wild pointer, double free) surface as [Error]. *)

@@ -1,0 +1,27 @@
+module Memsim = Giantsan_memsim
+
+let create config =
+  let heap = Memsim.Heap.create config in
+  let counters = Counters.create () in
+  {
+    Sanitizer.name = "Native";
+    heap;
+    counters;
+    shadow_loads = (fun () -> 0);
+    malloc = (fun ?kind size -> Sanitizer.plain_malloc heap counters ?kind size);
+    free =
+      (fun ptr ->
+        counters.Counters.frees <- counters.Counters.frees + 1;
+        match Memsim.Heap.free heap ptr with
+        | Ok _ | Error Memsim.Heap.Free_null -> None
+        | Error _ ->
+          (* Native execution has no detector: invalid frees go unnoticed
+             (they would corrupt a real heap). *)
+          None);
+    access = (fun ~base:_ ~addr:_ ~width:_ -> None);
+    check_region = (fun ~lo:_ ~hi:_ -> None);
+    new_cache = (fun ~base -> { Sanitizer.cache_base = base; cache_ub = 0 });
+    cached_access = (fun _ ~off:_ ~width:_ -> None);
+    flush_cache = (fun _ -> None);
+    supports_operation_level = false;
+  }

@@ -1,0 +1,5 @@
+(** The "Native" configuration: the allocator substrate with no shadow
+    memory and no checks. It is the baseline all overhead ratios in Table 2
+    are computed against. *)
+
+val create : Giantsan_memsim.Heap.config -> Sanitizer.t

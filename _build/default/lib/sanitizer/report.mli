@@ -1,0 +1,37 @@
+(** Error reports produced by sanitizer checks (the simulation's equivalent
+    of ASan's red crash banner). With [halt_on_error=false] semantics — as
+    the paper configures all tools — checks return reports and execution
+    continues, so one run can collect many reports. *)
+
+type kind =
+  | Heap_buffer_overflow
+  | Heap_buffer_underflow
+  | Stack_buffer_overflow
+  | Stack_buffer_underflow
+  | Global_buffer_overflow
+  | Use_after_free
+  | Invalid_free
+  | Double_free
+  | Free_not_at_start
+  | Null_dereference
+  | Wild_access  (** access to memory never returned by the allocator *)
+
+type t = {
+  kind : kind;
+  addr : int;  (** faulting address *)
+  size : int;  (** bytes the failing operation wanted to touch *)
+  detected_by : string;  (** sanitizer name *)
+}
+
+val make : kind:kind -> addr:int -> size:int -> detected_by:string -> t
+
+val classify_access :
+  Giantsan_memsim.Heap.t -> addr:int -> base:int option -> kind
+(** Best-effort diagnosis of a bad access from allocator ground truth, the
+    way ASan decodes its shadow error codes: redzone hits become overflows
+    or underflows (relative to [base] when known), freed bytes become
+    use-after-free, low addresses become null dereferences. *)
+
+val kind_name : kind -> string
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,40 @@
+module Memsim = Giantsan_memsim
+
+type cache = { mutable cache_base : int; mutable cache_ub : int }
+
+type t = {
+  name : string;
+  heap : Memsim.Heap.t;
+  counters : Counters.t;
+  shadow_loads : unit -> int;
+  malloc : ?kind:Memsim.Memobj.kind -> int -> Memsim.Memobj.t;
+  free : int -> Report.t option;
+  access : base:int -> addr:int -> width:int -> Report.t option;
+  check_region : lo:int -> hi:int -> Report.t option;
+  new_cache : base:int -> cache;
+  cached_access : cache -> off:int -> width:int -> Report.t option;
+  flush_cache : cache -> Report.t option;
+  supports_operation_level : bool;
+}
+
+let record_error t = function
+  | None -> None
+  | Some r ->
+    t.counters.Counters.errors <- t.counters.Counters.errors + 1;
+    Some r
+
+let plain_malloc heap counters ?kind size =
+  counters.Counters.mallocs <- counters.Counters.mallocs + 1;
+  Memsim.Heap.malloc heap ?kind size
+
+let free_error_report ~name ~addr err =
+  let kind =
+    match err with
+    | Memsim.Heap.Free_null -> None
+    | Memsim.Heap.Invalid_free -> Some Report.Invalid_free
+    | Memsim.Heap.Free_not_at_start -> Some Report.Free_not_at_start
+    | Memsim.Heap.Double_free -> Some Report.Double_free
+  in
+  Option.map
+    (fun kind -> Report.make ~kind ~addr ~size:0 ~detected_by:name)
+    kind

@@ -1,0 +1,61 @@
+(** The common sanitizer interface.
+
+    Every tool under study — Native (no protection), ASan, ASan--, GiantSan,
+    LFP — is packaged as a value of type [t]: allocation hooks plus the
+    runtime checks the instrumented program calls. The interpreter, the
+    workload runner and the bug-detection harness are polymorphic over it.
+
+    Checks return [Report.t option] instead of raising: the paper runs all
+    tools with [halt_on_error=false]. *)
+
+type cache = {
+  mutable cache_base : int;  (** the pointer this cache belongs to *)
+  mutable cache_ub : int;
+      (** quasi-bound: bytes from [cache_base] already proven addressable
+          (exclusive offset). 0 = nothing proven yet. *)
+}
+(** History-caching state (§4.3). Non-caching sanitizers keep [cache_ub = 0]
+    forever, so every cached access falls back to a plain check. *)
+
+type t = {
+  name : string;
+  heap : Giantsan_memsim.Heap.t;
+  counters : Counters.t;
+  shadow_loads : unit -> int;
+      (** metadata loads performed so far (0 for tools without shadow) *)
+  malloc : ?kind:Giantsan_memsim.Memobj.kind -> int -> Giantsan_memsim.Memobj.t;
+  free : int -> Report.t option;
+  access : base:int -> addr:int -> width:int -> Report.t option;
+      (** Check one [width]-byte access at [addr]. [base] is the anchor (the
+          object's base pointer) when the instrumentation knows it, or [0]:
+          anchor-aware tools (GiantSan) then protect [\[base, addr+width)];
+          the others check only [\[addr, addr+width)]. *)
+  check_region : lo:int -> hi:int -> Report.t option;
+      (** Operation-level check of an arbitrary region (the [memset] /
+          [strcpy] guardian): O(1) for GiantSan, linear for ASan. *)
+  new_cache : base:int -> cache;
+  cached_access : cache -> off:int -> width:int -> Report.t option;
+      (** Access [base + off] under history caching (Figure 9). *)
+  flush_cache : cache -> Report.t option;
+      (** The final check after a cached loop (Figure 9 line 14): re-verify
+          the whole quasi-bound to catch a deallocation that happened during
+          the loop. No-op for non-caching tools. *)
+  supports_operation_level : bool;
+      (** whether region checks are O(1) (drives check-merging decisions) *)
+}
+
+val record_error : t -> Report.t option -> Report.t option
+(** Count an error if one was produced (helper for implementers). *)
+
+val plain_malloc :
+  Giantsan_memsim.Heap.t ->
+  Counters.t ->
+  ?kind:Giantsan_memsim.Memobj.kind ->
+  int ->
+  Giantsan_memsim.Memobj.t
+(** Allocation without shadow poisoning (shared by Native and LFP). *)
+
+val free_error_report :
+  name:string -> addr:int -> Giantsan_memsim.Heap.free_error -> Report.t option
+(** Translate an allocator free error into a report ([Free_null] is benign
+    and yields [None]). *)

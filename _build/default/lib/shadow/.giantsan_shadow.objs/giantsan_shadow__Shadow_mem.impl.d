@@ -1,0 +1,1 @@
+lib/shadow/shadow_mem.ml: Bytes Char Giantsan_memsim

@@ -1,0 +1,1 @@
+lib/shadow/shadow_mem.mli: Giantsan_memsim

@@ -1,0 +1,42 @@
+type t = {
+  bytes : Bytes.t;
+  fill : int;
+  mutable loads : int;
+  mutable stores : int;
+}
+
+let create ~segments ~fill =
+  assert (segments > 0 && fill >= 0 && fill < 256);
+  { bytes = Bytes.make segments (Char.chr fill); fill; loads = 0; stores = 0 }
+
+let of_heap heap ~fill =
+  create ~segments:(Giantsan_memsim.Heap.segment_count heap) ~fill
+
+let segments t = Bytes.length t.bytes
+
+let load t p =
+  t.loads <- t.loads + 1;
+  if p < 0 || p >= Bytes.length t.bytes then t.fill
+  else Char.code (Bytes.get t.bytes p)
+
+let peek t p =
+  if p < 0 || p >= Bytes.length t.bytes then t.fill
+  else Char.code (Bytes.get t.bytes p)
+
+let set t p v =
+  assert (v >= 0 && v < 256);
+  t.stores <- t.stores + 1;
+  if p >= 0 && p < Bytes.length t.bytes then Bytes.set t.bytes p (Char.chr v)
+
+let fill_range t ~lo ~hi v =
+  assert (lo <= hi && v >= 0 && v < 256);
+  t.stores <- t.stores + (hi - lo);
+  let lo' = max 0 lo and hi' = min (Bytes.length t.bytes) hi in
+  if hi' > lo' then Bytes.fill t.bytes lo' (hi' - lo') (Char.chr v)
+
+let loads t = t.loads
+let stores t = t.stores
+
+let reset_counters t =
+  t.loads <- 0;
+  t.stores <- 0

@@ -1,0 +1,38 @@
+(** Shadow memory: one unsigned byte of metadata per 8-byte segment.
+
+    This is the `ShadowUnitType m[N]` array of §2.2. Both ASan's and
+    GiantSan's encodings live in this substrate; they differ only in how
+    they interpret the byte. Reads issued on the check path go through
+    [load] so the experiments can count metadata loadings — the quantity the
+    protection-density argument is about. *)
+
+type t
+
+val create : segments:int -> fill:int -> t
+(** [create ~segments ~fill] makes a shadow array of [segments] bytes, all
+    initialised to [fill] (the encoding's "unallocated" code). *)
+
+val of_heap : Giantsan_memsim.Heap.t -> fill:int -> t
+(** Shadow sized to cover the heap's arena. *)
+
+val segments : t -> int
+
+val load : t -> int -> int
+(** [load m p] reads segment state [m[p]] (0..255) and counts one metadata
+    load. Out-of-range [p] returns the fill value (the virtual space beyond
+    the arena is non-addressable), still counting the load. *)
+
+val peek : t -> int -> int
+(** Like [load] but uncounted — for tests and pretty-printing only. *)
+
+val set : t -> int -> int -> unit
+(** [set m p v] writes segment state (0..255), counting one metadata store. *)
+
+val fill_range : t -> lo:int -> hi:int -> int -> unit
+(** Set segments [lo, hi) to a value; counts [hi - lo] stores. *)
+
+val loads : t -> int
+(** Metadata loads so far. *)
+
+val stores : t -> int
+val reset_counters : t -> unit

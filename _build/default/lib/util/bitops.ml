@@ -1,0 +1,34 @@
+let log2_floor n =
+  assert (n >= 1);
+  (* Count the position of the highest set bit. *)
+  let rec loop n acc = if n <= 1 then acc else loop (n lsr 1) (acc + 1) in
+  loop n 0
+
+let pow2 x =
+  assert (x >= 0 && x <= 61);
+  1 lsl x
+
+let log2_ceil n =
+  assert (n >= 1);
+  let f = log2_floor n in
+  if 1 lsl f = n then f else f + 1
+
+let is_pow2 n =
+  assert (n >= 1);
+  n land (n - 1) = 0
+
+let align_down a n =
+  assert (is_pow2 a);
+  n land lnot (a - 1)
+
+let align_up a n =
+  assert (is_pow2 a);
+  (n + a - 1) land lnot (a - 1)
+
+let is_aligned a n =
+  assert (is_pow2 a);
+  n land (a - 1) = 0
+
+let cdiv n d =
+  assert (n >= 0 && d > 0);
+  (n + d - 1) / d

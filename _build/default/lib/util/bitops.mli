@@ -1,0 +1,29 @@
+(** Small integer/bit utilities shared across the sanitizer stack.
+
+    All functions operate on non-negative OCaml [int]s (63-bit). *)
+
+val log2_floor : int -> int
+(** [log2_floor n] is the largest [x] with [2^x <= n]. Requires [n >= 1]. *)
+
+val log2_ceil : int -> int
+(** [log2_ceil n] is the smallest [x] with [2^x >= n]. Requires [n >= 1]. *)
+
+val pow2 : int -> int
+(** [pow2 x] is [2^x]. Requires [0 <= x <= 61]. *)
+
+val is_pow2 : int -> bool
+(** [is_pow2 n] is true iff [n] is a power of two. Requires [n >= 1]. *)
+
+val align_down : int -> int -> int
+(** [align_down a n] rounds [n] down to a multiple of alignment [a]
+    (a power of two). *)
+
+val align_up : int -> int -> int
+(** [align_up a n] rounds [n] up to a multiple of alignment [a]
+    (a power of two). *)
+
+val is_aligned : int -> int -> bool
+(** [is_aligned a n] is true iff [n] is a multiple of [a] (a power of two). *)
+
+val cdiv : int -> int -> int
+(** [cdiv n d] is [ceil (n / d)] for non-negative [n], positive [d]. *)

@@ -1,0 +1,36 @@
+(** Deterministic splitmix64 pseudo-random generator.
+
+    Used everywhere instead of [Stdlib.Random] so experiment output is
+    reproducible bit-for-bit across runs and OCaml versions. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes a generator from a seed. *)
+
+val copy : t -> t
+(** Independent copy with the same state. *)
+
+val next64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [[0, bound)]. Requires [bound > 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [[lo, hi]] inclusive. Requires [lo <= hi]. *)
+
+val bool : t -> bool
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [[0, bound)]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform choice from a non-empty array. *)
+
+val weighted : t -> (int * 'a) list -> 'a
+(** [weighted t choices] picks proportionally to the integer weights.
+    Requires at least one strictly positive weight. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

@@ -1,0 +1,26 @@
+let mean xs =
+  assert (xs <> []);
+  List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let geomean xs =
+  assert (xs <> []);
+  let logsum = List.fold_left (fun acc x -> acc +. log x) 0.0 xs in
+  exp (logsum /. float_of_int (List.length xs))
+
+let stddev xs =
+  assert (xs <> []);
+  let m = mean xs in
+  let var = mean (List.map (fun x -> (x -. m) ** 2.0) xs) in
+  sqrt var
+
+let sorted xs = List.sort compare xs
+
+let percentile p xs =
+  assert (xs <> [] && p >= 0.0 && p <= 1.0);
+  let arr = Array.of_list (sorted xs) in
+  let n = Array.length arr in
+  let idx = int_of_float (ceil (p *. float_of_int n)) - 1 in
+  arr.(max 0 (min (n - 1) idx))
+
+let median xs = percentile 0.5 xs
+let ratio_pct x base = 100.0 *. x /. base

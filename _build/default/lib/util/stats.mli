@@ -1,0 +1,21 @@
+(** Summary statistics used by the experiment reports. *)
+
+val mean : float list -> float
+(** Arithmetic mean. Requires a non-empty list. *)
+
+val geomean : float list -> float
+(** Geometric mean; the paper reports SPEC overheads this way.
+    Requires a non-empty list of positive values. *)
+
+val stddev : float list -> float
+(** Population standard deviation. Requires a non-empty list. *)
+
+val median : float list -> float
+(** Requires a non-empty list. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [[0,1]], nearest-rank on the sorted list.
+    Requires a non-empty list. *)
+
+val ratio_pct : float -> float -> float
+(** [ratio_pct x base] is [100 * x / base]: the paper's "R" columns. *)

@@ -1,0 +1,1 @@
+lib/workload/cost_model.mli: Giantsan_sanitizer

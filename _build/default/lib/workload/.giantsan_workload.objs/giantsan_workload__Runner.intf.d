@@ -1,0 +1,1 @@
+lib/workload/runner.mli: Giantsan_analysis Giantsan_memsim Giantsan_sanitizer Specgen

@@ -1,0 +1,1 @@
+lib/workload/specgen.ml: Array Giantsan_ir Giantsan_util List Printf

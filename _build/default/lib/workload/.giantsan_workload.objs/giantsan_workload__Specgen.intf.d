@@ -1,0 +1,1 @@
+lib/workload/specgen.mli: Giantsan_ir

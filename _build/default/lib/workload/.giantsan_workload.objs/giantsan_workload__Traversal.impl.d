@@ -1,0 +1,1 @@
+lib/workload/traversal.ml: Giantsan_memsim Giantsan_sanitizer Giantsan_util

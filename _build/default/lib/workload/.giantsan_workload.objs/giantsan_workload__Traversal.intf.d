@@ -1,0 +1,1 @@
+lib/workload/traversal.mli: Giantsan_sanitizer

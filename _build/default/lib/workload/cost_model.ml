@@ -1,0 +1,73 @@
+module Counters = Giantsan_sanitizer.Counters
+
+type weights = {
+  w_op : float;
+  w_shadow_load : float;
+  w_instr_check : float;
+  w_region_check : float;
+  w_slow_check : float;
+  w_cache_hit : float;
+  w_cache_update : float;
+  w_underflow : float;
+  w_bounds_check : float;
+  w_malloc : float;
+  w_free : float;
+  w_malloc_sanitized : float;
+  w_poison_segment : float;
+  w_lfp_stack_op : float;
+}
+
+let default =
+  {
+    w_op = 1.0;
+    w_shadow_load = 3.6;
+    w_instr_check = 2.4;
+    w_region_check = 3.6;
+    w_slow_check = 2.8;
+    w_cache_hit = 2.6;
+    w_cache_update = 3.8;
+    w_underflow = 4.4;
+    w_bounds_check = 3.6;
+    w_malloc = 30.0;
+    w_free = 20.0;
+    w_malloc_sanitized = 45.0;
+    w_poison_segment = 0.55;
+    w_lfp_stack_op = 0.33;
+  }
+
+type input = {
+  ops : int;
+  shadow_loads : int;
+  counters : Counters.t;
+  is_sanitized : bool;
+  is_lfp : bool;
+  stack_fraction : float;
+}
+
+let simulated_ns ?(weights = default) i =
+  let f = float_of_int in
+  let c = i.counters in
+  let base =
+    (weights.w_op *. f i.ops)
+    +. (weights.w_malloc *. f c.Counters.mallocs)
+    +. (weights.w_free *. f c.Counters.frees)
+  in
+  let sanitizer =
+    if not i.is_sanitized then 0.0
+    else
+      (weights.w_shadow_load *. f i.shadow_loads)
+      +. (weights.w_instr_check *. f c.Counters.instr_checks)
+      +. (weights.w_region_check *. f c.Counters.region_checks)
+      +. (weights.w_slow_check *. f c.Counters.slow_checks)
+      +. (weights.w_cache_hit *. f c.Counters.cache_hits)
+      +. (weights.w_cache_update *. f c.Counters.cache_updates)
+      +. (weights.w_underflow *. f c.Counters.underflow_checks)
+      +. (weights.w_bounds_check *. f c.Counters.bounds_checks)
+      +. (weights.w_malloc_sanitized *. f c.Counters.mallocs)
+      +. (weights.w_poison_segment *. f c.Counters.poison_segments)
+  in
+  let lfp_extra =
+    if i.is_lfp then weights.w_lfp_stack_op *. i.stack_fraction *. f i.ops
+    else 0.0
+  in
+  base +. sanitizer +. lfp_extra

@@ -1,0 +1,46 @@
+(** Event-count cost model.
+
+    We cannot run SPEC CPU2017 on real silicon from inside an OCaml
+    simulation, so Table 2's execution times are *simulated*: every run
+    yields exact event counts (interpreter operations, shadow loads, checks
+    by flavour, allocator traffic) and this module collapses them into
+    abstract nanoseconds with one global weight table.
+
+    The weights were calibrated ONCE against the paper's geometric means
+    (ASan 212.58%, ASan-- 174.89%, GiantSan 146.04%) and are identical for
+    every tool and every profile — the per-project spread in the generated
+    Table 2 is therefore produced by the measured event counts, not by
+    per-project fudging. Absolute seconds are meaningless; ratios are the
+    reproduction target. *)
+
+type weights = {
+  w_op : float;  (** one interpreter operation (native work) *)
+  w_shadow_load : float;  (** one metadata load *)
+  w_instr_check : float;  (** compare/branch of an instruction-level check *)
+  w_region_check : float;  (** setup of a region check *)
+  w_slow_check : float;  (** extra work when the slow path runs *)
+  w_cache_hit : float;  (** quasi-bound compare *)
+  w_cache_update : float;  (** quasi-bound refresh bookkeeping *)
+  w_underflow : float;  (** extra anchor instructions on the low side *)
+  w_bounds_check : float;  (** LFP pointer-derived bound computation *)
+  w_malloc : float;
+  w_free : float;
+  w_malloc_sanitized : float;  (** extra per-malloc hook cost in sanitizers *)
+  w_poison_segment : float;  (** one shadow byte written while poisoning *)
+  w_lfp_stack_op : float;  (** LFP's software stack simulation, per op on
+                               stack-heavy code *)
+}
+
+val default : weights
+
+type input = {
+  ops : int;
+  shadow_loads : int;
+  counters : Giantsan_sanitizer.Counters.t;
+  is_sanitized : bool;  (** false for the Native run *)
+  is_lfp : bool;
+  stack_fraction : float;  (** profile's share of stack-heavy operations *)
+}
+
+val simulated_ns : ?weights:weights -> input -> float
+(** Collapse one run's event counts into simulated nanoseconds. *)

@@ -1,0 +1,122 @@
+(* Behavioural mixes for the 24 Table 2 projects. The weights draw on what
+   each program does and on Figure 10's per-project optimization breakdown;
+   [calib] in comments gives the paper's (GiantSan/ASan/ASan--/LFP) ratios
+   the profile should roughly land near. *)
+
+let mk name seed ~seq ~unb ~rnd ~cst ~mst ~mcp ~rev ~chs ~stk ~cmp ~churn ~obj
+    ~stack ~lfp =
+  {
+    Specgen.p_name = name;
+    p_seed = seed;
+    p_phases = 12;
+    p_iters = 512;
+    p_compute = cmp;
+    w_seq_loop = seq;
+    w_unbounded = unb;
+    w_random = rnd;
+    w_const = cst;
+    w_memset = mst;
+    w_memcpy = mcp;
+    w_reverse = rev;
+    w_chase = chs;
+    w_stackcall = stk;
+    p_alloc_churn = churn;
+    p_obj_size = obj;
+    p_stack_fraction = stack;
+    p_lfp_status = lfp;
+  }
+
+let all =
+  [
+    (* calib 200/230/218/CE: interpreter, irregular pointer traffic *)
+    mk "500.perlbench_r" 101 ~seq:10 ~unb:25 ~rnd:30 ~cst:20 ~mst:5 ~mcp:5
+      ~rev:5 ~chs:30 ~stk:8 ~cmp:2 ~churn:3 ~obj:1200 ~stack:0.3 ~lfp:`Compile_error;
+    (* calib 279/331/285/CE: compiler, heaviest irregular mix *)
+    mk "502.gcc_r" 102 ~seq:5 ~unb:25 ~rnd:40 ~cst:15 ~mst:5 ~mcp:5 ~rev:5 ~chs:35 ~stk:8 ~cmp:2
+      ~churn:5 ~obj:1200 ~stack:0.35 ~lfp:`Compile_error;
+    (* calib 128/167/138/151: pointer-chasing solver, mostly cacheable *)
+    mk "505.mcf_r" 103 ~seq:30 ~unb:30 ~rnd:30 ~cst:5 ~mst:0 ~mcp:0 ~rev:0 ~chs:10 ~stk:0 ~cmp:6
+      ~churn:0 ~obj:2400 ~stack:0.1 ~lfp:`Ok;
+    (* calib 107/225/162/229: molecular dynamics, dense numeric loops *)
+    mk "508.namd_r" 104 ~seq:70 ~unb:15 ~rnd:5 ~cst:5 ~mst:5 ~mcp:0 ~rev:0 ~chs:0 ~stk:3 ~cmp:14
+      ~churn:0 ~obj:2400 ~stack:0.4 ~lfp:`Ok;
+    (* calib 136/306/206/CE: finite elements, numeric + some indirection *)
+    mk "510.parest_r" 105 ~seq:55 ~unb:15 ~rnd:25 ~cst:5 ~mst:0 ~mcp:0 ~rev:0 ~chs:5 ~stk:4 ~cmp:8
+      ~churn:1 ~obj:2400 ~stack:0.2 ~lfp:`Compile_error;
+    (* calib 251/377/290/288: ray tracer, heavy mixed traffic *)
+    mk "511.povray_r" 106 ~seq:10 ~unb:30 ~rnd:35 ~cst:15 ~mst:0 ~mcp:5 ~rev:5 ~chs:20 ~stk:10 ~cmp:2
+      ~churn:3 ~obj:1200 ~stack:0.3 ~lfp:`Ok;
+    (* calib 101/157/126/201: lattice Boltzmann, pure streaming loops *)
+    mk "519.lbm_r" 107 ~seq:85 ~unb:5 ~rnd:0 ~cst:0 ~mst:10 ~mcp:0 ~rev:0 ~chs:0 ~stk:0 ~cmp:20
+      ~churn:0 ~obj:4800 ~stack:0.35 ~lfp:`Ok;
+    (* calib 197/294/254/155: discrete events, churn-dominated *)
+    mk "520.omnetpp_r" 108 ~seq:10 ~unb:20 ~rnd:30 ~cst:20 ~mst:5 ~mcp:5
+      ~rev:0 ~chs:20 ~stk:4 ~cmp:3 ~churn:10 ~obj:600 ~stack:0.05 ~lfp:`Ok;
+    (* calib 137/181/147/102: XML transforms, strings + memcpy + churn *)
+    mk "523.xalancbmk_r" 109 ~seq:25 ~unb:15 ~rnd:10 ~cst:15 ~mst:10 ~mcp:25
+      ~rev:0 ~chs:10 ~stk:2 ~cmp:4 ~churn:8 ~obj:1200 ~stack:0.05 ~lfp:`Ok;
+    (* calib 141/203/153/206: chess search, tables + random probes *)
+    mk "531.deepsjeng_r" 110 ~seq:20 ~unb:15 ~rnd:35 ~cst:25 ~mst:5 ~mcp:0
+      ~rev:0 ~chs:15 ~stk:10 ~cmp:4 ~churn:1 ~obj:1200 ~stack:0.35 ~lfp:`Ok;
+    (* calib 136/186/173/CE: image ops, kernels + memset *)
+    mk "538.imagick_r" 111 ~seq:50 ~unb:10 ~rnd:15 ~cst:5 ~mst:20 ~mcp:0
+      ~rev:0 ~chs:5 ~stk:2 ~cmp:10 ~churn:1 ~obj:2400 ~stack:0.15 ~lfp:`Compile_error;
+    (* calib 146/205/177/199: MCTS, random playouts *)
+    mk "541.leela_r" 112 ~seq:25 ~unb:20 ~rnd:35 ~cst:10 ~mst:5 ~mcp:5 ~rev:0 ~chs:15 ~stk:8 ~cmp:4
+      ~churn:2 ~obj:1200 ~stack:0.3 ~lfp:`Ok;
+    (* calib 115/153/135/159: compression, scanning loops *)
+    mk "557.xz_r" 113 ~seq:30 ~unb:40 ~rnd:10 ~cst:5 ~mst:0 ~mcp:15 ~rev:0 ~chs:5 ~stk:6 ~cmp:8
+      ~churn:0 ~obj:4800 ~stack:0.25 ~lfp:`Ok;
+    (* calib 207/319/231/CE *)
+    mk "600.perlbench_s" 114 ~seq:10 ~unb:25 ~rnd:32 ~cst:18 ~mst:5 ~mcp:5
+      ~rev:5 ~chs:32 ~stk:8 ~cmp:2 ~churn:3 ~obj:1200 ~stack:0.3 ~lfp:`Compile_error;
+    (* calib 127/282/153/RE: speed-run gcc with a lighter input mix *)
+    mk "602.gcc_s" 115 ~seq:35 ~unb:20 ~rnd:30 ~cst:10 ~mst:0 ~mcp:5 ~rev:0 ~chs:18 ~stk:8 ~cmp:6
+      ~churn:2 ~obj:2400 ~stack:0.3 ~lfp:`Runtime_error;
+    (* calib 135/162/153/141 *)
+    mk "605.mcf_s" 116 ~seq:28 ~unb:32 ~rnd:30 ~cst:5 ~mst:0 ~mcp:0 ~rev:0 ~chs:10 ~stk:0 ~cmp:6
+      ~churn:0 ~obj:2400 ~stack:0.1 ~lfp:`Ok;
+    (* calib 106/123/110/97 *)
+    mk "619.lbm_s" 117 ~seq:88 ~unb:4 ~rnd:0 ~cst:0 ~mst:8 ~mcp:0 ~rev:0 ~chs:0 ~stk:0 ~cmp:22
+      ~churn:0 ~obj:4800 ~stack:0.1 ~lfp:`Ok;
+    (* calib 212/323/270/160 *)
+    mk "620.omnetpp_s" 118 ~seq:8 ~unb:20 ~rnd:32 ~cst:20 ~mst:5 ~mcp:5 ~rev:0 ~chs:22 ~stk:4 ~cmp:3
+      ~churn:10 ~obj:600 ~stack:0.05 ~lfp:`Ok;
+    (* calib 135/180/156/105 *)
+    mk "623.xalancbmk_s" 119 ~seq:25 ~unb:15 ~rnd:10 ~cst:15 ~mst:10 ~mcp:25
+      ~rev:0 ~chs:10 ~stk:2 ~cmp:4 ~churn:8 ~obj:1200 ~stack:0.05 ~lfp:`Ok;
+    (* calib 144/216/156/203 *)
+    mk "631.deepsjeng_s" 120 ~seq:20 ~unb:15 ~rnd:35 ~cst:25 ~mst:5 ~mcp:0
+      ~rev:0 ~chs:15 ~stk:10 ~cmp:4 ~churn:1 ~obj:1200 ~stack:0.35 ~lfp:`Ok;
+    (* calib 124/177/202/170 *)
+    mk "638.imagick_s" 121 ~seq:55 ~unb:10 ~rnd:12 ~cst:3 ~mst:20 ~mcp:0
+      ~rev:0 ~chs:4 ~stk:2 ~cmp:12 ~churn:1 ~obj:2400 ~stack:0.15 ~lfp:`Ok;
+    (* calib 148/230/181/200 *)
+    mk "641.leela_s" 122 ~seq:22 ~unb:20 ~rnd:38 ~cst:10 ~mst:5 ~mcp:5 ~rev:0 ~chs:16 ~stk:8 ~cmp:4
+      ~churn:2 ~obj:1200 ~stack:0.3 ~lfp:`Ok;
+    (* calib 113/160/124/122: molecular modelling, numeric *)
+    mk "644.nab_s" 123 ~seq:60 ~unb:20 ~rnd:10 ~cst:5 ~mst:5 ~mcp:0 ~rev:0 ~chs:0 ~stk:0 ~cmp:14
+      ~churn:0 ~obj:2400 ~stack:0.15 ~lfp:`Ok;
+    (* calib 120/152/154/142 *)
+    mk "657.xz_s" 124 ~seq:28 ~unb:42 ~rnd:10 ~cst:5 ~mst:0 ~mcp:15 ~rev:0 ~chs:5 ~stk:6 ~cmp:8
+      ~churn:0 ~obj:4800 ~stack:0.25 ~lfp:`Ok;
+  ]
+
+let find name =
+  List.find (fun (p : Specgen.profile) -> p.Specgen.p_name = name) all
+
+(* Table 2's Native column, for a familiar seconds display. *)
+let native_seconds_tbl =
+  [
+    ("500.perlbench_r", 358.0); ("502.gcc_r", 256.0); ("505.mcf_r", 399.0);
+    ("508.namd_r", 295.0); ("510.parest_r", 430.0); ("511.povray_r", 426.0);
+    ("519.lbm_r", 275.0); ("520.omnetpp_r", 343.0); ("523.xalancbmk_r", 408.0);
+    ("531.deepsjeng_r", 289.0); ("538.imagick_r", 499.0); ("541.leela_r", 456.0);
+    ("557.xz_r", 362.0); ("600.perlbench_s", 349.0); ("602.gcc_s", 476.0);
+    ("605.mcf_s", 788.0); ("619.lbm_s", 551.0); ("620.omnetpp_s", 323.0);
+    ("623.xalancbmk_s", 396.0); ("631.deepsjeng_s", 347.0);
+    ("638.imagick_s", 2119.0); ("641.leela_s", 452.0); ("644.nab_s", 1198.0);
+    ("657.xz_s", 871.0);
+  ]
+
+let native_seconds name = List.assoc name native_seconds_tbl

@@ -1,0 +1,21 @@
+(** The 24 SPEC CPU2017 projects of Table 2, as workload profiles.
+
+    Mixes are derived from what each project is (interpreter, solver,
+    ray-tracer, ...) and from the per-project optimization breakdown the
+    paper reports in Figure 10 — e.g. [mcf]/[namd]/[lbm] are dominated by
+    promotable or cacheable loop accesses ("more than 80% of the checks...
+    eliminated or cached"), while [perlbench]/[gcc] carry much more
+    irregular pointer traffic. The four projects LFP cannot build
+    ([perlbench], [gcc], [parest], [imagick]) and the one where it dies at
+    runtime ([602.gcc_s]) are marked. *)
+
+val all : Specgen.profile list
+(** Rate (5xx) then speed (6xx) projects, in Table 2's order. *)
+
+val find : string -> Specgen.profile
+(** Lookup by name (e.g. ["505.mcf_r"]). Raises [Not_found]. *)
+
+val native_seconds : string -> float
+(** The paper's native-execution wall time for the project (Table 2's
+    "Native" column, in seconds). Used only to print a familiar-looking
+    seconds column next to the simulated ratios. *)

@@ -1,0 +1,122 @@
+module Memsim = Giantsan_memsim
+module San = Giantsan_sanitizer.Sanitizer
+module Counters = Giantsan_sanitizer.Counters
+module Instrument = Giantsan_analysis.Instrument
+module Interp = Giantsan_analysis.Interp
+
+type config =
+  | Native
+  | Asan
+  | Asanmm
+  | Lfp
+  | Giantsan
+  | Cache_only
+  | Elim_only
+
+let config_name = function
+  | Native -> "Native"
+  | Asan -> "ASan"
+  | Asanmm -> "ASan--"
+  | Lfp -> "LFP"
+  | Giantsan -> "GiantSan"
+  | Cache_only -> "CacheOnly"
+  | Elim_only -> "EliminationOnly"
+
+let all_configs = [ Native; Giantsan; Asan; Asanmm; Lfp; Cache_only; Elim_only ]
+
+let heap_config =
+  {
+    Memsim.Heap.arena_size = 8 lsl 20;
+    redzone = 16;
+    quarantine_budget = 256 * 1024;
+  }
+
+let make_sanitizer ?(heap = heap_config) = function
+  | Native -> Giantsan_sanitizer.Native.create heap
+  | Asan -> Giantsan_asan.Asan_runtime.create heap
+  | Asanmm -> Giantsan_asan.Asan_runtime.create_named "ASan--" heap
+  | Lfp -> Giantsan_lfp.Lfp_runtime.create heap
+  | Giantsan -> Giantsan_core.Gs_runtime.create heap
+  | Cache_only ->
+    Giantsan_core.Gs_runtime.create_variant ~name:"GiantSan-CacheOnly"
+      ~use_cache:true heap
+  | Elim_only ->
+    Giantsan_core.Gs_runtime.create_variant ~name:"GiantSan-ElimOnly"
+      ~use_cache:false heap
+
+let instrument_mode = function
+  | Native -> Instrument.Native
+  | Asan -> Instrument.Asan
+  | Asanmm -> Instrument.Asanmm
+  | Lfp -> Instrument.Lfp
+  | Giantsan -> Instrument.Giantsan
+  | Cache_only -> Instrument.Giantsan_cache_only
+  | Elim_only -> Instrument.Giantsan_elim_only
+
+type status = Completed | Compile_error | Runtime_error
+
+type result = {
+  r_profile : string;
+  r_config : config;
+  r_status : status;
+  r_ops : int;
+  r_shadow_loads : int;
+  r_counters : Counters.t;
+  r_stats : Interp.exec_stats option;
+  r_sim_ns : float;
+  r_reports : int;
+}
+
+let lfp_status (p : Specgen.profile) =
+  match p.Specgen.p_lfp_status with
+  | `Ok -> Completed
+  | `Compile_error -> Compile_error
+  | `Runtime_error -> Runtime_error
+
+let skipped p config status =
+  {
+    r_profile = p.Specgen.p_name;
+    r_config = config;
+    r_status = status;
+    r_ops = 0;
+    r_shadow_loads = 0;
+    r_counters = Counters.create ();
+    r_stats = None;
+    r_sim_ns = nan;
+    r_reports = 0;
+  }
+
+let run_one ?heap (p : Specgen.profile) config =
+  match config with
+  | Lfp when lfp_status p <> Completed -> skipped p config (lfp_status p)
+  | _ ->
+    let san = make_sanitizer ?heap config in
+    let prog = Specgen.generate p in
+    let plan = Instrument.plan (instrument_mode config) prog in
+    let out = Interp.run san plan prog in
+    let input =
+      {
+        Cost_model.ops = out.Interp.ops;
+        shadow_loads = san.San.shadow_loads ();
+        counters = san.San.counters;
+        is_sanitized = config <> Native;
+        is_lfp = config = Lfp;
+        stack_fraction = p.Specgen.p_stack_fraction;
+      }
+    in
+    {
+      r_profile = p.Specgen.p_name;
+      r_config = config;
+      r_status = Completed;
+      r_ops = out.Interp.ops;
+      r_shadow_loads = san.San.shadow_loads ();
+      r_counters = san.San.counters;
+      r_stats = Some out.Interp.stats;
+      r_sim_ns = Cost_model.simulated_ns input;
+      r_reports = List.length out.Interp.reports;
+    }
+
+let run_profile ?(configs = all_configs) p =
+  List.map (run_one p) configs
+
+let overhead_pct ~native ~sanitized = 100.0 *. sanitized /. native

@@ -1,0 +1,46 @@
+(** Execute workload profiles under every sanitizer configuration and
+    collapse the event counts through the cost model. This is the engine
+    behind Table 2 and Figure 10. *)
+
+type config =
+  | Native
+  | Asan
+  | Asanmm
+  | Lfp
+  | Giantsan
+  | Cache_only  (** ablation: GiantSan with history caching only *)
+  | Elim_only  (** ablation: GiantSan with check elimination only *)
+
+val config_name : config -> string
+val all_configs : config list
+(** Native first, then the sanitizers, then the two ablations. *)
+
+val make_sanitizer :
+  ?heap:Giantsan_memsim.Heap.config -> config -> Giantsan_sanitizer.Sanitizer.t
+(** [heap] defaults to an 8 MiB arena with the paper's redzone/quarantine
+    settings. *)
+
+val instrument_mode : config -> Giantsan_analysis.Instrument.mode
+
+type status =
+  | Completed
+  | Compile_error  (** the tool cannot build the project (LFP, Table 2) *)
+  | Runtime_error
+
+type result = {
+  r_profile : string;
+  r_config : config;
+  r_status : status;
+  r_ops : int;
+  r_shadow_loads : int;
+  r_counters : Giantsan_sanitizer.Counters.t;
+  r_stats : Giantsan_analysis.Interp.exec_stats option;
+  r_sim_ns : float;  (** simulated time; [nan] when not Completed *)
+  r_reports : int;
+}
+
+val run_one :
+  ?heap:Giantsan_memsim.Heap.config -> Specgen.profile -> config -> result
+
+val run_profile : ?configs:config list -> Specgen.profile -> result list
+val overhead_pct : native:float -> sanitized:float -> float

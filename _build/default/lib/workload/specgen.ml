@@ -1,0 +1,251 @@
+module Ast = Giantsan_ir.Ast
+module B = Giantsan_ir.Builder
+module Rng = Giantsan_util.Rng
+
+type profile = {
+  p_name : string;
+  p_seed : int;
+  p_phases : int;
+  p_iters : int;
+  p_compute : int;  (* arithmetic operations per loop iteration *)
+  w_seq_loop : int;
+  w_unbounded : int;
+  w_random : int;
+  w_const : int;
+  w_memset : int;
+  w_memcpy : int;
+  w_reverse : int;
+  w_chase : int;
+  w_stackcall : int;
+  p_alloc_churn : int;
+  p_obj_size : int;
+  p_stack_fraction : float;
+  p_lfp_status : [ `Ok | `Compile_error | `Runtime_error ];
+}
+
+type phase_kind =
+  | Seq_loop
+  | Unbounded
+  | Random
+  | Const
+  | Memset
+  | Memcpy
+  | Reverse
+  | Chase
+  | Stackcall
+
+let arrays = [| "a0"; "a1"; "a2"; "a3" |]
+
+(* a chain of [k] arithmetic nodes over the loop index: the surrounding
+   compute that real kernels amortize their checks against *)
+let compute_expr k idx =
+  let rec go acc j =
+    if j <= 0 then acc
+    else if j mod 2 = 0 then go B.(acc + (v idx * i 3)) (j - 2)
+    else go B.(acc + i 7) (j - 1)
+  in
+  go (B.v idx) k
+
+(* a bounded counted loop with an affine subscript: the promotable shape *)
+let seq_loop_phase b ~arr ~n ~write ~compute =
+  let work = compute_expr compute "i" in
+  let body =
+    if write then
+      [ B.store b ~base:arr ~index:(B.v "i") ~scale:8 ~value:work () ]
+    else
+      [
+        B.assign "s"
+          B.(v "s" + work + load b ~base:arr ~index:(v "i") ~scale:8 ());
+      ]
+  in
+  [ B.for_ b ~idx:"i" ~lo:(B.i 0) ~hi:(B.i n) body ]
+
+(* forward scan whose trip count the compiler cannot see: cacheable *)
+let unbounded_phase b ~arr ~n ~compute =
+  [
+    B.assign "j" (B.i 0);
+    B.while_ b ~cond:B.(v "j" < i n)
+      [
+        B.assign "s"
+          B.(
+            v "s"
+            + compute_expr compute "j"
+            + load b ~base:arr ~index:(v "j") ~scale:8 ());
+        B.assign "j" B.(v "j" + i 1);
+      ];
+  ]
+
+(* data-dependent subscripts: the y[j] of Figure 8 *)
+let random_phase b ~arr ~n =
+  [
+    B.for_ b ~idx:"i" ~lo:(B.i 0) ~hi:(B.i n)
+      [
+        B.assign "t" (B.load b ~base:"idx" ~index:(B.v "i") ~scale:8 ());
+        B.store b ~base:arr ~index:(B.v "t") ~scale:8 ~value:(B.v "i") ();
+      ];
+  ]
+
+(* straight-line constant-offset accesses: structure fields *)
+let const_phase b ~arr =
+  [
+    B.assign "s"
+      B.(
+        v "s"
+        + load b ~base:arr ~index:(i 0) ~scale:8 ()
+        + load b ~base:arr ~index:(i 1) ~scale:8 ()
+        + load b ~base:arr ~index:(i 2) ~scale:8 ());
+    B.store b ~base:arr ~index:(B.i 3) ~scale:8 ~value:(B.v "s") ();
+  ]
+
+let memset_phase b ~arr ~n =
+  [ B.memset b ~dst:arr ~doff:(B.i 0) ~len:(B.i (8 * n)) ~value:(B.i 0) ]
+
+let memcpy_phase b ~dst ~src ~n =
+  [ B.memcpy b ~dst ~doff:(B.i 0) ~src ~soff:(B.i 0) ~len:(B.i (8 * n)) ]
+
+(* reverse scan through a pointer anchored at the high end: every access is
+   a negative offset off the anchor — the single-sided-summary weak spot *)
+let reverse_phase b ~arr ~n =
+  let top = 8 * (n - 1) in
+  [
+    B.assign "q" B.(v arr + i top);
+    B.assign "j" (B.i 0);
+    B.while_ b ~cond:B.(v "j" < i n)
+      [
+        B.assign "s"
+          B.(v "s" + load b ~base:"q" ~index:(i 0 - v "j") ~scale:8 ());
+        B.assign "j" B.(v "j" + i 1);
+      ];
+  ]
+
+(* interpreter-style dispatch: the pointer is re-loaded from a pointer
+   table each iteration, so the dependent accesses defeat both promotion
+   and the history cache — every tool checks each one. The second loop
+   re-derives the array base each iteration (as across opaque calls) and
+   pokes deep into the object: for non-power-of-two objects the offset
+   exceeds the base segment's folding coverage, forcing GiantSan's slow
+   path (the Figure 10 "FullCheck" population). *)
+let chase_phase b ~arr ~n ~obj_elems =
+  let half = n / 2 in
+  let deep = obj_elems - 50 in
+  [
+    B.for_ b ~idx:"i" ~lo:(B.i 0) ~hi:(B.i half)
+      [
+        B.assign "chq" (B.load b ~base:"ptrs" ~index:(B.v "i") ~scale:8 ());
+        B.assign "s" B.(v "s" + load b ~base:"chq" ~index:(i 0) ~scale:8 ());
+        B.store b ~base:"chq" ~index:(B.i 1) ~scale:8 ~value:(B.v "s") ();
+      ];
+    B.for_ b ~idx:"i" ~lo:(B.i 0) ~hi:(B.i (n - half))
+      [
+        B.assign "chq" (B.v arr);
+        B.assign "s" B.(v "s" + load b ~base:"chq" ~index:(i deep) ~scale:8 ());
+      ];
+  ]
+
+(* call-heavy code with a stack buffer per frame: each call allocas,
+   scribbles with a non-affine subscript (cacheable but not promotable),
+   and returns. ASan/GiantSan poison and unpoison the frame every call;
+   LFP leaves small allocas unprotected. *)
+let stack_helper b =
+  B.func "stack_work" ~params:[ "m" ]
+    [
+      B.alloca "sbuf" (B.i 512);
+      B.for_ b ~idx:"k" ~lo:(B.i 0) ~hi:(B.v "m")
+        [
+          B.store b ~base:"sbuf" ~index:B.((v "k" * v "k") % i 64) ~scale:8
+            ~value:(B.v "k") ();
+        ];
+      B.return_ (Some (B.load b ~base:"sbuf" ~index:(B.i 0) ~scale:8 ()));
+    ]
+
+let stackcall_phase b ~n =
+  [
+    B.for_ b ~idx:"i" ~lo:(B.i 0) ~hi:(B.i (n / 8))
+      [ B.call ~dst:"r" "stack_work" [ B.i 16 ] ];
+  ]
+
+let churn_phase b ~bytes ~count =
+  List.concat
+    (List.init count (fun k ->
+         let v = Printf.sprintf "tmp%d" k in
+         [
+           B.malloc v (B.i bytes);
+           B.store b ~base:v ~index:(B.i 0) ~scale:8 ~value:(B.i 1) ();
+           B.free (B.v v);
+         ]))
+
+let generate p =
+  let b = B.create () in
+  let rng = Rng.create p.p_seed in
+  let n = p.p_obj_size in
+  let half_bytes = 4 * n in
+  let preamble =
+    List.concat_map
+      (fun arr -> [ B.malloc arr (B.i (8 * n)) ])
+      (Array.to_list arrays)
+    @ [
+        B.malloc "idx" (B.i (8 * n));
+        B.malloc "ptrs" (B.i (8 * n));
+        B.assign "s" (B.i 0);
+        (* fill the index array with a fixed pseudo-random permutation-ish
+           pattern, in bounds by construction; only the entries the phases
+           will read are needed *)
+        B.for_ b ~idx:"i" ~lo:(B.i 0) ~hi:(B.i (min n p.p_iters))
+          [
+            B.store b ~base:"idx" ~index:(B.v "i") ~scale:8
+              ~value:B.(((v "i" * i 17) + i 5) % i n)
+              ();
+            (* the pointer table: interior pointers into a0 at varying
+               8-aligned offsets (always >= 16 bytes from the end) *)
+            B.store b ~base:"ptrs" ~index:(B.v "i") ~scale:8
+              ~value:B.(v "a0" + ((v "i" * i 88) % i half_bytes))
+              ();
+          ];
+      ]
+  in
+  let weights =
+    [
+      (p.w_seq_loop, Seq_loop);
+      (p.w_unbounded, Unbounded);
+      (p.w_random, Random);
+      (p.w_const, Const);
+      (p.w_memset, Memset);
+      (p.w_memcpy, Memcpy);
+      (p.w_reverse, Reverse);
+      (p.w_chase, Chase);
+      (p.w_stackcall, Stackcall);
+    ]
+  in
+  let phase () =
+    let arr = Rng.pick rng arrays in
+    let iters = min n p.p_iters in
+    let stmts =
+      match Rng.weighted rng weights with
+      | Seq_loop ->
+        seq_loop_phase b ~arr ~n:iters ~write:(Rng.bool rng)
+          ~compute:p.p_compute
+      | Unbounded -> unbounded_phase b ~arr ~n:iters ~compute:p.p_compute
+      | Random -> random_phase b ~arr ~n:iters
+      | Const ->
+        (* a burst of straight-line work so the phase is not trivially
+           cheaper than the loop phases *)
+        List.concat (List.init (max 1 (iters / 8)) (fun _ -> const_phase b ~arr))
+      | Memset -> memset_phase b ~arr ~n:iters
+      | Memcpy ->
+        let src = Rng.pick rng arrays in
+        if src = arr then memset_phase b ~arr ~n:iters
+        else memcpy_phase b ~dst:arr ~src ~n:iters
+      | Reverse -> reverse_phase b ~arr ~n:iters
+      | Chase -> chase_phase b ~arr ~n:iters ~obj_elems:n
+      | Stackcall -> stackcall_phase b ~n:iters
+    in
+    let churn =
+      if p.p_alloc_churn > 0 then
+        churn_phase b ~bytes:(8 * Rng.int_in rng 2 32) ~count:p.p_alloc_churn
+      else []
+    in
+    stmts @ churn
+  in
+  let body = preamble @ List.concat (List.init p.p_phases (fun _ -> phase ())) in
+  let funcs = if p.w_stackcall > 0 then [ stack_helper b ] else [] in
+  B.program ~funcs p.p_name body

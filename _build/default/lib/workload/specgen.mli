@@ -1,0 +1,50 @@
+(** Synthetic SPEC-like workload generator.
+
+    Each SPEC CPU2017 project in Table 2 is modelled as a {!profile}: a
+    behavioural mix (bounded affine loops, unbounded loops, data-dependent
+    subscripts, straight-line field accesses, [memset]/[memcpy] traffic,
+    reverse traversals, allocation churn) with a deterministic seed. The
+    generator expands a profile into one IR program; the same program is
+    then executed under every sanitizer configuration.
+
+    The mixes are chosen so each profile exercises the check-site
+    distribution the paper reports for that project in Figure 10 (e.g.
+    [lbm] is almost entirely promotable array loops, [perlbench] is
+    interpreter-style pointer chasing) — the overhead *spread* of Table 2
+    then falls out of the measured event counts. *)
+
+type profile = {
+  p_name : string;
+  p_seed : int;
+  p_phases : int;  (** number of workload phases to generate *)
+  p_iters : int;  (** iterations per loop phase *)
+  p_compute : int;
+      (** arithmetic operations per loop iteration: the compute density
+          real kernels amortize their checks against (high for numeric
+          codes like lbm/namd, low for pointer-chasing codes) *)
+  (* phase mix, integer weights *)
+  w_seq_loop : int;  (** bounded loop, affine subscript (promotable) *)
+  w_unbounded : int;  (** while-loop forward scan (cacheable) *)
+  w_random : int;  (** data-dependent subscripts (cacheable, uncached
+                       tools pay per access) *)
+  w_const : int;  (** straight-line constant-offset accesses (mergeable) *)
+  w_memset : int;
+  w_memcpy : int;
+  w_reverse : int;  (** reverse scan through a moving high anchor — the
+                        §5.4 weak spot *)
+  w_chase : int;
+      (** interpreter-style pointer chasing: the base pointer itself is
+          loaded from memory each iteration, so no promotion and no cache
+          applies to the dependent accesses — every tool pays per access *)
+  w_stackcall : int;
+      (** call-heavy phases: each call allocates (and on return reclaims) a
+          stack buffer, so shadow poisoning churns with the call rate *)
+  p_alloc_churn : int;  (** malloc/free pairs per phase (0 = none) *)
+  p_obj_size : int;  (** base object size in elements *)
+  p_stack_fraction : float;  (** share of stack-ish work (LFP penalty) *)
+  p_lfp_status : [ `Ok | `Compile_error | `Runtime_error ];
+      (** Table 2 marks four projects CE and one RE for LFP *)
+}
+
+val generate : profile -> Giantsan_ir.Ast.program
+(** Deterministically expand the profile into a program. *)

@@ -1,0 +1,82 @@
+module Memsim = Giantsan_memsim
+module San = Giantsan_sanitizer.Sanitizer
+
+type result = { t_checksum : int; t_shadow_loads : int; t_reports : int }
+
+let prepare (san : San.t) ~size =
+  let obj = san.San.malloc size in
+  let arena = Memsim.Heap.arena san.San.heap in
+  Memsim.Arena.fill arena ~addr:obj.Memsim.Memobj.base ~len:size 1;
+  obj.Memsim.Memobj.base
+
+let finish (san : San.t) ~loads0 ~reports ~checksum =
+  {
+    t_checksum = checksum;
+    t_shadow_loads = san.San.shadow_loads () - loads0;
+    t_reports = reports;
+  }
+
+let forward (san : San.t) ~base ~size =
+  let arena = Memsim.Heap.arena san.San.heap in
+  let loads0 = san.San.shadow_loads () in
+  let cache = san.San.new_cache ~base in
+  let sum = ref 0 and reports = ref 0 in
+  let n = size / 8 in
+  for j = 0 to n - 1 do
+    (match san.San.cached_access cache ~off:(8 * j) ~width:8 with
+    | None -> ()
+    | Some _ -> incr reports);
+    sum := !sum + Memsim.Arena.load arena ~addr:(base + (8 * j)) ~width:8
+  done;
+  (match san.San.flush_cache cache with None -> () | Some _ -> incr reports);
+  finish san ~loads0 ~reports:!reports ~checksum:!sum
+
+let random (san : San.t) ~seed ~base ~size =
+  let arena = Memsim.Heap.arena san.San.heap in
+  let rng = Giantsan_util.Rng.create seed in
+  let loads0 = san.San.shadow_loads () in
+  let cache = san.San.new_cache ~base in
+  let sum = ref 0 and reports = ref 0 in
+  let n = size / 8 in
+  for _ = 1 to n do
+    let j = Giantsan_util.Rng.int rng n in
+    (match san.San.cached_access cache ~off:(8 * j) ~width:8 with
+    | None -> ()
+    | Some _ -> incr reports);
+    sum := !sum + Memsim.Arena.load arena ~addr:(base + (8 * j)) ~width:8
+  done;
+  (match san.San.flush_cache cache with None -> () | Some _ -> incr reports);
+  finish san ~loads0 ~reports:!reports ~checksum:!sum
+
+let reverse_prescan (san : San.t) ~base ~size =
+  let arena = Memsim.Heap.arena san.San.heap in
+  let loads0 = san.San.shadow_loads () in
+  let reports = ref 0 in
+  (match san.San.check_region ~lo:base ~hi:(base + size) with
+  | None -> ()
+  | Some _ -> incr reports);
+  let sum = ref 0 in
+  let n = size / 8 in
+  if !reports = 0 then
+    for j = n - 1 downto 0 do
+      sum := !sum + Memsim.Arena.load arena ~addr:(base + (8 * j)) ~width:8
+    done;
+  finish san ~loads0 ~reports:!reports ~checksum:!sum
+
+let reverse (san : San.t) ~base ~size =
+  let arena = Memsim.Heap.arena san.San.heap in
+  let loads0 = san.San.shadow_loads () in
+  let n = size / 8 in
+  (* the anchor is the first dereferenced (highest) address; all further
+     accesses are negative offsets below it *)
+  let anchor = base + (8 * (n - 1)) in
+  let cache = san.San.new_cache ~base:anchor in
+  let sum = ref 0 and reports = ref 0 in
+  for j = 0 to n - 1 do
+    (match san.San.cached_access cache ~off:(-8 * j) ~width:8 with
+    | None -> ()
+    | Some _ -> incr reports);
+    sum := !sum + Memsim.Arena.load arena ~addr:(anchor - (8 * j)) ~width:8
+  done;
+  (match san.San.flush_cache cache with None -> () | Some _ -> incr reports);
+  finish san ~loads0 ~reports:!reports ~checksum:!sum

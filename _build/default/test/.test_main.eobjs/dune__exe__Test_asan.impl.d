@@ -1,0 +1,1 @@
+test/test_asan.ml: Alcotest Array Gen Giantsan_memsim Giantsan_sanitizer Giantsan_util Helpers List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_bugs.ml: Alcotest Giantsan_bugs Giantsan_memsim Giantsan_sanitizer Helpers List Printf

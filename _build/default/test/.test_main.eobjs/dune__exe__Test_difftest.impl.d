@@ -1,0 +1,1 @@
+test/test_difftest.ml: Giantsan_bugs List QCheck QCheck_alcotest

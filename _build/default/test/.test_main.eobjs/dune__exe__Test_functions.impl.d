@@ -1,0 +1,1 @@
+test/test_functions.ml: Alcotest Giantsan_analysis Giantsan_ir Giantsan_sanitizer Helpers List

@@ -1,0 +1,1 @@
+test/test_instrument.ml: Alcotest Giantsan_analysis Giantsan_ir Helpers List

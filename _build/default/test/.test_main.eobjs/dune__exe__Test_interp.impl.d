@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Giantsan_analysis Giantsan_asan Giantsan_ir Giantsan_memsim Giantsan_sanitizer Helpers List Printf Stdlib

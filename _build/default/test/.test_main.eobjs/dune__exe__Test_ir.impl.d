@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Astring_contains Giantsan_analysis Giantsan_ir Helpers List

@@ -1,0 +1,1 @@
+test/test_lfp.ml: Alcotest Array Gen Giantsan_lfp Giantsan_memsim Giantsan_sanitizer Giantsan_util Helpers List Printf QCheck

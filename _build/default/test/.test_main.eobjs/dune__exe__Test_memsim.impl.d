@@ -1,0 +1,1 @@
+test/test_memsim.ml: Alcotest Arena Giantsan_memsim Heap Helpers List Memobj Oracle Quarantine

@@ -1,0 +1,1 @@
+test/test_quasi_bound.ml: Alcotest Gen Giantsan_memsim Giantsan_sanitizer Giantsan_util Helpers List Printf QCheck

@@ -1,0 +1,1 @@
+test/test_region_check.ml: Alcotest Array Gen Giantsan_core Giantsan_memsim Giantsan_sanitizer Giantsan_shadow Giantsan_util Helpers List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bitops Fun Giantsan_util Hashtbl Helpers List Option QCheck Rng Stats String Table

@@ -1,0 +1,124 @@
+(* The encoding-ablation module and the extension experiments. *)
+
+module SC = Giantsan_core.State_code
+module Linear = Giantsan_core.Linear_encoding
+module RC = Giantsan_core.Region_check
+module Folding = Giantsan_core.Folding
+module Shadow_mem = Giantsan_shadow.Shadow_mem
+module Experiments = Giantsan_report.Experiments
+module B = Giantsan_ir.Builder
+module Interp = Giantsan_analysis.Interp
+module Instrument = Giantsan_analysis.Instrument
+module Report = Giantsan_sanitizer.Report
+
+let mk_shadow ~good =
+  let m = Shadow_mem.create ~segments:2048 ~fill:SC.unallocated in
+  Linear.poison_good_run m ~first_seg:8 ~count:good;
+  m
+
+let test_linear_safe_regions () =
+  let m = mk_shadow ~good:200 in
+  List.iter
+    (fun (l, r) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "[%d,%d) safe" l r)
+        true
+        (Linear.check m ~l:(64 + l) ~r:(64 + r)))
+    [ (0, 8); (0, 1600); (800, 1600); (0, 1); (0, 1599) ]
+
+let test_linear_bad_regions () =
+  let m = mk_shadow ~good:200 in
+  List.iter
+    (fun (l, r) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "[%d,%d) bad" l r)
+        false
+        (Linear.check m ~l:(64 + l) ~r:(64 + r)))
+    [ (0, 1601); (1592, 1608); (-8, 8); (1600, 1601) ]
+
+let test_linear_partial_segment () =
+  let m = mk_shadow ~good:10 in
+  Shadow_mem.set m 18 (SC.partial 5);
+  Alcotest.(check bool) "into partial ok" true (Linear.check m ~l:64 ~r:(64 + 85));
+  Alcotest.(check bool) "past partial bad" false
+    (Linear.check m ~l:64 ~r:(64 + 86))
+
+let test_linear_agrees_with_folding =
+  Helpers.q "run-length and folding verdicts agree"
+    QCheck.(triple (int_range 1 300) (int_range 0 310) (int_range 1 330))
+    (fun (good, l_seg, len) ->
+      let m_lin = mk_shadow ~good in
+      let m_fold = Shadow_mem.create ~segments:2048 ~fill:SC.unallocated in
+      Folding.poison_good_run m_fold ~first_seg:8 ~count:good;
+      let l = 64 + (8 * l_seg) and r = 64 + (8 * l_seg) + len in
+      Linear.check m_lin ~l ~r = RC.is_safe (RC.check m_fold ~l ~r))
+
+let test_linear_loads_between_asan_and_folding () =
+  let m = mk_shadow ~good:1024 in
+  Shadow_mem.reset_counters m;
+  assert (Linear.check m ~l:64 ~r:(64 + 8192));
+  let lin = Shadow_mem.loads m in
+  Alcotest.(check bool)
+    (Printf.sprintf "ceil(1024/63) = 17 loads, got %d" lin)
+    true
+    (lin >= 16 && lin <= 18)
+
+let test_globals_supported () =
+  let b = B.create () in
+  let prog =
+    B.program
+      ~globals:[ ("g", 80) ]
+      "globals"
+      [
+        B.store b ~base:"g" ~index:(B.i 9) ~scale:8 ~value:(B.i 5) ();
+        B.assign "x" (B.load b ~base:"g" ~index:(B.i 9) ~scale:8 ());
+      ]
+  in
+  let san = Helpers.giantsan () in
+  let out = Interp.run san (Instrument.plan Instrument.Giantsan prog) prog in
+  Alcotest.(check (list string)) "clean" []
+    (List.map Report.to_string out.Interp.reports);
+  Alcotest.(check int) "value through the global" 5 (Interp.var out "x")
+
+let test_global_overflow_classified () =
+  let b = B.create () in
+  let prog =
+    B.program
+      ~globals:[ ("g", 80) ]
+      "global_ov"
+      [ B.store b ~base:"g" ~index:(B.i 10) ~scale:8 ~value:(B.i 5) () ]
+  in
+  let san = Helpers.giantsan () in
+  let out = Interp.run san (Instrument.plan Instrument.Giantsan prog) prog in
+  match out.Interp.reports with
+  | [ r ] ->
+    Alcotest.(check string) "kind" "global-buffer-overflow"
+      (Report.kind_name r.Report.kind)
+  | l -> Alcotest.failf "expected 1 report, got %d" (List.length l)
+
+let contains = Astring_contains.contains
+
+let test_extra_experiments_run () =
+  let a = Experiments.run "ablation-encoding" in
+  Alcotest.(check bool) "encoding table rendered" true
+    (contains a.Experiments.o_body "Binary folding");
+  let r = Experiments.run "sweep-redzone" in
+  Alcotest.(check bool) "anchored column flat" true
+    (contains r.Experiments.o_body "196/196");
+  let q = Experiments.run "sweep-quarantine" in
+  Alcotest.(check bool) "zero budget catches nothing" true
+    (contains q.Experiments.o_body "0/64")
+
+let suite =
+  ( "ablation",
+    [
+      Helpers.qt "run-length: safe regions" `Quick test_linear_safe_regions;
+      Helpers.qt "run-length: bad regions" `Quick test_linear_bad_regions;
+      Helpers.qt "run-length: partial segments" `Quick test_linear_partial_segment;
+      test_linear_agrees_with_folding;
+      Helpers.qt "run-length loads sit between ASan and folding" `Quick
+        test_linear_loads_between_asan_and_folding;
+      Helpers.qt "globals live and checked" `Quick test_globals_supported;
+      Helpers.qt "global overflow classified" `Quick test_global_overflow_classified;
+      Helpers.qt "extension experiments run" `Quick test_extra_experiments_run;
+    ] )

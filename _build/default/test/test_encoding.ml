@@ -1,0 +1,219 @@
+module SC = Giantsan_core.State_code
+module Folding = Giantsan_core.Folding
+module AE = Giantsan_asan.Asan_encoding
+module Shadow_mem = Giantsan_shadow.Shadow_mem
+module Memsim = Giantsan_memsim
+module San = Giantsan_sanitizer.Sanitizer
+
+(* ------------------------------------------------------------------ *)
+(* GiantSan state codes (Definition 1)                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_state_codes () =
+  Alcotest.(check int) "(0)-folded is 64" 64 SC.good;
+  Alcotest.(check int) "(3)-folded" 61 (SC.folded 3);
+  Alcotest.(check int) "degree round-trip" 3 (SC.degree (SC.folded 3));
+  Alcotest.(check int) "4-partial" 68 (SC.partial 4);
+  Alcotest.(check bool) "partial not folded" false (SC.is_folded (SC.partial 1));
+  Alcotest.(check bool) "freed is error" true (SC.is_error SC.freed);
+  Alcotest.(check bool) "72 is reserved, not error" false (SC.is_error 72)
+
+let test_monotonicity () =
+  (* Definition 1: smaller state code = more addressable bytes following. *)
+  let codes = List.init 10 (fun i -> SC.folded i) in
+  List.iteri
+    (fun i c ->
+      List.iteri
+        (fun j c' ->
+          if i < j then
+            Alcotest.(check bool) "deeper fold = smaller code" true (c > c'))
+        codes)
+    codes;
+  Alcotest.(check bool) "folded < partial" true (SC.folded 0 < SC.partial 7);
+  Alcotest.(check bool) "partial < error" true (SC.partial 1 < SC.freed)
+
+let test_covered_bytes () =
+  Alcotest.(check int) "(0)-folded covers 8" 8 (SC.covered_bytes SC.good);
+  Alcotest.(check int) "(1)-folded covers 16" 16 (SC.covered_bytes (SC.folded 1));
+  Alcotest.(check int) "(10)-folded covers 8*1024" 8192
+    (SC.covered_bytes (SC.folded 10));
+  Alcotest.(check int) "partial covers 0" 0 (SC.covered_bytes (SC.partial 4));
+  Alcotest.(check int) "error covers 0" 0 (SC.covered_bytes SC.freed)
+
+let test_covered_matches_paper_trick =
+  (* (v <= 64) << (67 - v) from §4.2, on the codes where the shift is
+     defined *)
+  Helpers.q "covered = paper's shift trick"
+    QCheck.(int_range (64 - SC.max_degree) 255)
+    (fun v ->
+      let expected = if v <= 64 then 1 lsl (67 - v) else 0 in
+      SC.covered_bytes v = expected)
+
+let test_addressable_in_segment () =
+  Alcotest.(check int) "folded -> 8" 8 (SC.addressable_in_segment (SC.folded 5));
+  Alcotest.(check int) "3-partial -> 3" 3 (SC.addressable_in_segment (SC.partial 3));
+  Alcotest.(check int) "redzone -> 0" 0 (SC.addressable_in_segment SC.heap_redzone)
+
+let test_describe () =
+  Alcotest.(check string) "folded" "(2)-folded" (SC.describe (SC.folded 2));
+  Alcotest.(check string) "partial" "4-partial" (SC.describe (SC.partial 4));
+  Alcotest.(check string) "freed" "freed" (SC.describe SC.freed)
+
+(* ------------------------------------------------------------------ *)
+(* Folded poisoning (Figure 5)                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_figure5_pattern () =
+  (* the 68-byte object of Figure 5: degrees 3 2 2 2 2 1 1 0 + 4-partial *)
+  let m = Shadow_mem.create ~segments:64 ~fill:SC.unallocated in
+  Folding.poison_good_run m ~first_seg:0 ~count:8;
+  let degrees = List.init 8 (fun i -> SC.degree (Shadow_mem.peek m i)) in
+  Alcotest.(check (list int)) "figure 5" [ 3; 2; 2; 2; 2; 1; 1; 0 ] degrees
+
+let test_pattern_counts =
+  (* "there are 2^i consecutive (i)-folded segments": for any G, reading
+     the run tail-to-head we see 1 zero-fold, 2 one-folds, 4 two-folds...
+     truncated at the top. *)
+  Helpers.q "folded run structure"
+    QCheck.(int_range 1 600)
+    (fun count ->
+      let m = Shadow_mem.create ~segments:1024 ~fill:SC.unallocated in
+      Folding.poison_good_run m ~first_seg:0 ~count;
+      let ok = ref true in
+      for j = 0 to count - 1 do
+        let expect = Giantsan_util.Bitops.log2_floor (count - j) in
+        if SC.degree (Shadow_mem.peek m j) <> expect then ok := false
+      done;
+      !ok)
+
+let test_fold_soundness =
+  (* every fold's claim is truthful: the covered bytes are inside the run *)
+  Helpers.q "fold claims stay within the good run"
+    QCheck.(int_range 1 600)
+    (fun count ->
+      let m = Shadow_mem.create ~segments:1024 ~fill:SC.unallocated in
+      Folding.poison_good_run m ~first_seg:0 ~count;
+      let ok = ref true in
+      for j = 0 to count - 1 do
+        let covered = SC.covered_bytes (Shadow_mem.peek m j) in
+        if (j * 8) + covered > count * 8 then ok := false
+      done;
+      !ok)
+
+let test_fold_tightness =
+  (* and the claim is the best binary claim: doubling it would overrun *)
+  Helpers.q "fold degree is maximal"
+    QCheck.(int_range 1 600)
+    (fun count ->
+      let m = Shadow_mem.create ~segments:1024 ~fill:SC.unallocated in
+      Folding.poison_good_run m ~first_seg:0 ~count;
+      let ok = ref true in
+      for j = 0 to count - 1 do
+        let covered = SC.covered_bytes (Shadow_mem.peek m j) in
+        if (j * 8) + (2 * covered) <= count * 8 then ok := false
+      done;
+      !ok)
+
+let test_poison_alloc_layout () =
+  let m = Shadow_mem.create ~segments:64 ~fill:SC.unallocated in
+  let obj =
+    {
+      Memsim.Memobj.id = 0;
+      kind = Memsim.Memobj.Heap;
+      base = 16;
+      size = 20;
+      block_base = 0;
+      block_len = 56;
+      status = Memsim.Memobj.Live;
+    }
+  in
+  Folding.poison_alloc m obj;
+  Alcotest.(check int) "left rz" SC.heap_redzone (Shadow_mem.peek m 0);
+  Alcotest.(check int) "left rz 2" SC.heap_redzone (Shadow_mem.peek m 1);
+  Alcotest.(check int) "first seg (1)-folded" (SC.folded 1) (Shadow_mem.peek m 2);
+  Alcotest.(check int) "second seg (0)-folded" SC.good (Shadow_mem.peek m 3);
+  Alcotest.(check int) "partial 4" (SC.partial 4) (Shadow_mem.peek m 4);
+  Alcotest.(check int) "right rz" SC.heap_redzone (Shadow_mem.peek m 5)
+
+let test_poison_free_evict () =
+  let m = Shadow_mem.create ~segments:64 ~fill:SC.unallocated in
+  let obj =
+    {
+      Memsim.Memobj.id = 0;
+      kind = Memsim.Memobj.Heap;
+      base = 16;
+      size = 20;
+      block_base = 0;
+      block_len = 56;
+      status = Memsim.Memobj.Live;
+    }
+  in
+  Folding.poison_alloc m obj;
+  Folding.poison_free m obj;
+  Alcotest.(check int) "freed code" SC.freed (Shadow_mem.peek m 2);
+  Alcotest.(check int) "partial seg freed too" SC.freed (Shadow_mem.peek m 4);
+  Alcotest.(check int) "rz untouched" SC.heap_redzone (Shadow_mem.peek m 0);
+  Folding.poison_evict m obj;
+  Alcotest.(check int) "whole block unallocated" SC.unallocated (Shadow_mem.peek m 0)
+
+let test_upper_bound_walk () =
+  let m = Shadow_mem.create ~segments:64 ~fill:SC.unallocated in
+  Folding.poison_good_run m ~first_seg:2 ~count:8;
+  Shadow_mem.set m 10 (SC.partial 4);
+  (* object of 68 bytes at byte 16: bound should be 16 + 68 = 84 *)
+  Alcotest.(check int) "exact bound" 84 (Folding.upper_bound m ~addr:16);
+  Alcotest.(check int) "bound from middle" 84 (Folding.upper_bound m ~addr:40);
+  Alcotest.(check int) "non-addressable stays put" 8
+    (Folding.upper_bound m ~addr:8)
+
+(* ------------------------------------------------------------------ *)
+(* ASan encoding                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_asan_codes () =
+  Alcotest.(check int) "signed decode" (-6) (AE.decode_signed AE.heap_redzone);
+  Alcotest.(check int) "positive unchanged" 5 (AE.decode_signed 5);
+  Alcotest.(check bool) "error code" true (AE.is_error_code AE.freed);
+  Alcotest.(check int) "good covers 8" 8 (AE.addressable_in_segment AE.good);
+  Alcotest.(check int) "partial covers k" 3 (AE.addressable_in_segment (AE.partial 3));
+  Alcotest.(check int) "redzone covers 0" 0 (AE.addressable_in_segment AE.heap_redzone)
+
+let test_asan_poison_alloc () =
+  let m = Shadow_mem.create ~segments:64 ~fill:AE.unallocated in
+  let obj =
+    {
+      Memsim.Memobj.id = 0;
+      kind = Memsim.Memobj.Heap;
+      base = 16;
+      size = 20;
+      block_base = 0;
+      block_len = 56;
+      status = Memsim.Memobj.Live;
+    }
+  in
+  AE.poison_alloc m obj;
+  Alcotest.(check int) "left rz" AE.heap_redzone (Shadow_mem.peek m 1);
+  Alcotest.(check int) "good" 0 (Shadow_mem.peek m 2);
+  Alcotest.(check int) "good" 0 (Shadow_mem.peek m 3);
+  Alcotest.(check int) "4-partial" 4 (Shadow_mem.peek m 4);
+  Alcotest.(check int) "right rz" AE.heap_redzone (Shadow_mem.peek m 5)
+
+let suite =
+  ( "encoding",
+    [
+      Helpers.qt "giantsan: Definition 1 codes" `Quick test_state_codes;
+      Helpers.qt "giantsan: monotone codes" `Quick test_monotonicity;
+      Helpers.qt "giantsan: covered_bytes" `Quick test_covered_bytes;
+      test_covered_matches_paper_trick;
+      Helpers.qt "giantsan: addressable prefix" `Quick test_addressable_in_segment;
+      Helpers.qt "giantsan: describe" `Quick test_describe;
+      Helpers.qt "folding: Figure 5 pattern" `Quick test_figure5_pattern;
+      test_pattern_counts;
+      test_fold_soundness;
+      test_fold_tightness;
+      Helpers.qt "folding: alloc layout" `Quick test_poison_alloc_layout;
+      Helpers.qt "folding: free and evict" `Quick test_poison_free_evict;
+      Helpers.qt "folding: bound walk (Figure 7)" `Quick test_upper_bound_walk;
+      Helpers.qt "asan: code semantics" `Quick test_asan_codes;
+      Helpers.qt "asan: alloc layout" `Quick test_asan_poison_alloc;
+    ] )

@@ -1,0 +1,235 @@
+(* Functions, calls, allocas and use-after-return in the IR. *)
+
+module Ast = Giantsan_ir.Ast
+module B = Giantsan_ir.Builder
+module Plan = Giantsan_analysis.Plan
+module Instrument = Giantsan_analysis.Instrument
+module Interp = Giantsan_analysis.Interp
+module Report = Giantsan_sanitizer.Report
+module San = Giantsan_sanitizer.Sanitizer
+
+let run ?(mode = Instrument.Giantsan) ?(san = Helpers.giantsan ()) prog =
+  (san, Interp.run san (Instrument.plan mode prog) prog)
+
+let test_call_and_return () =
+  let double = B.func "double" ~params:[ "x" ] [ B.return_ (Some B.(v "x" * i 2)) ] in
+  let prog =
+    B.program ~funcs:[ double ] "calls"
+      [ B.call ~dst:"r" "double" [ B.i 21 ] ]
+  in
+  let _, out = run prog in
+  Alcotest.(check int) "return value" 42 (Interp.var out "r")
+
+let test_fallthrough_returns_zero () =
+  let noop = B.func "noop" ~params:[] [ B.assign "t" (B.i 9) ] in
+  let prog =
+    B.program ~funcs:[ noop ] "fallthrough" [ B.call ~dst:"r" "noop" [] ]
+  in
+  let _, out = run prog in
+  Alcotest.(check int) "implicit 0" 0 (Interp.var out "r")
+
+let test_recursion () =
+  (* fact(n) = n <= 1 ? 1 : n * fact(n - 1) *)
+  let fact =
+    B.func "fact" ~params:[ "n" ]
+      [
+        B.if_ B.(v "n" <= i 1)
+          [ B.return_ (Some (B.i 1)) ]
+          [
+            B.call ~dst:"sub" "fact" [ B.(v "n" - i 1) ];
+            B.return_ (Some B.(v "n" * v "sub"));
+          ];
+      ]
+  in
+  let prog = B.program ~funcs:[ fact ] "rec" [ B.call ~dst:"r" "fact" [ B.i 10 ] ] in
+  let _, out = run prog in
+  Alcotest.(check int) "10!" 3628800 (Interp.var out "r")
+
+let test_infinite_recursion_crashes () =
+  let f = B.func "f" ~params:[] [ B.call "f" [] ] in
+  let prog = B.program ~funcs:[ f ] "spin" [ B.call "f" [] ] in
+  let _, out = run prog in
+  Alcotest.(check bool) "stack exhaustion" true out.Interp.crashed
+
+let test_scoping () =
+  (* the callee cannot see caller locals, and parameters are by value *)
+  let f =
+    B.func "f" ~params:[ "x" ]
+      [ B.assign "x" B.(v "x" + i 1); B.return_ (Some (B.v "x")) ]
+  in
+  let prog =
+    B.program ~funcs:[ f ] "scope"
+      [ B.assign "x" (B.i 5); B.call ~dst:"r" "f" [ B.v "x" ] ]
+  in
+  let _, out = run prog in
+  Alcotest.(check int) "callee got a copy" 6 (Interp.var out "r");
+  Alcotest.(check int) "caller's x untouched" 5 (Interp.var out "x")
+
+let test_alloca_lifecycle () =
+  let b = B.create () in
+  (* the function uses its stack buffer legitimately *)
+  let f =
+    B.func "f" ~params:[]
+      [
+        B.alloca "buf" (B.i 64);
+        B.store b ~base:"buf" ~index:(B.i 0) ~scale:8 ~value:(B.i 7) ();
+        B.return_ (Some (B.load b ~base:"buf" ~index:(B.i 0) ~scale:8 ()));
+      ]
+  in
+  let prog =
+    B.program ~funcs:[ f ] "alloca"
+      [
+        B.for_ b ~idx:"i" ~lo:(B.i 0) ~hi:(B.i 50) [ B.call ~dst:"r" "f" [] ];
+      ]
+  in
+  let san, out = run prog in
+  Alcotest.(check (list string)) "no reports" []
+    (List.map Report.to_string out.Interp.reports);
+  Alcotest.(check int) "value via stack" 7 (Interp.var out "r");
+  (* 50 frames -> 50 stack allocations + 50 frees *)
+  Alcotest.(check int) "allocas counted" 50
+    san.San.counters.Giantsan_sanitizer.Counters.mallocs
+
+let test_use_after_return () =
+  let b = B.create () in
+  (* f leaks the address of its stack buffer; main dereferences it *)
+  let f =
+    B.func "f" ~params:[]
+      [ B.alloca "buf" (B.i 64); B.return_ (Some (B.v "buf")) ]
+  in
+  let prog =
+    B.program ~funcs:[ f ] "uar"
+      [
+        B.call ~dst:"p" "f" [];
+        B.assign "x" (B.load b ~base:"p" ~index:(B.i 0) ~scale:8 ());
+      ]
+  in
+  List.iter
+    (fun (name, make_san) ->
+      let _, out = run ~san:(make_san ()) prog in
+      Alcotest.(check bool) (name ^ " catches use-after-return") true
+        (out.Interp.reports <> []))
+    [
+      ("GiantSan", fun () -> Helpers.giantsan ());
+      ("ASan", fun () -> Helpers.asan ());
+    ]
+
+let test_stack_overflow_detected () =
+  let b = B.create () in
+  let f =
+    B.func "f" ~params:[]
+      [
+        B.alloca "buf" (B.i 40);
+        B.store b ~base:"buf" ~index:(B.i 5) ~scale:8 ~value:(B.i 1) ();
+      ]
+  in
+  let prog = B.program ~funcs:[ f ] "stack_ov" [ B.call "f" [] ] in
+  let _, out = run prog in
+  match out.Interp.reports with
+  | [ r ] ->
+    Alcotest.(check string) "classified" "stack-buffer-overflow"
+      (Report.kind_name r.Report.kind)
+  | l -> Alcotest.failf "expected 1 report, got %d" (List.length l)
+
+let test_call_blocks_promotion () =
+  let b = B.create () in
+  let mayfree = B.func "mayfree" ~params:[ "q" ] [ B.free (B.v "q") ] in
+  let acc = B.access b ~base:"p" ~index:(B.v "i") ~scale:4 () in
+  let prog =
+    B.program ~funcs:[ mayfree ] "callblock"
+      [
+        B.malloc "p" (B.i 256);
+        B.for_ b ~idx:"i" ~lo:(B.i 0) ~hi:(B.i 4)
+          [
+            Ast.Store (acc, B.i 1);
+            B.if_ B.(v "i" = i 3) [ B.call "mayfree" [ B.v "p" ] ] [];
+          ];
+      ]
+  in
+  let plan = Instrument.plan Instrument.Giantsan prog in
+  Alcotest.(check bool) "call in loop blocks promotion" true
+    (Plan.decision_of plan acc.Ast.acc_id <> Plan.Eliminated);
+  (* and the whole program runs with the mid-loop free caught at most
+     at the cache flush, never as a false positive before it happens *)
+  let _, out = run prog in
+  Alcotest.(check bool) "mid-loop free detected eventually" true
+    (out.Interp.reports <> [])
+
+let test_return_in_loop_blocks_promotion () =
+  let b = B.create () in
+  let acc = B.access b ~base:"p" ~index:(B.v "i") ~scale:8 () in
+  let f =
+    B.func "f" ~params:[]
+      [
+        B.malloc "p" (B.i 80);
+        (* returns after 3 iterations: only offsets 0..2 are ever touched;
+           hoisting the full footprint 0..99 would false-positive *)
+        B.for_ b ~idx:"i" ~lo:(B.i 0) ~hi:(B.i 100)
+          [
+            Ast.Store (acc, B.v "i");
+            B.if_ B.(v "i" = i 2) [ B.return_ None ] [];
+          ];
+      ]
+  in
+  let prog = B.program ~funcs:[ f ] "early_exit" [ B.call "f" [] ] in
+  let plan = Instrument.plan Instrument.Giantsan prog in
+  Alcotest.(check bool) "early-exit loop not promoted" true
+    (Plan.decision_of plan acc.Ast.acc_id <> Plan.Eliminated);
+  let _, out = run prog in
+  Alcotest.(check (list string)) "no false positive" []
+    (List.map Report.to_string out.Interp.reports)
+
+let test_call_is_merge_barrier () =
+  let b = B.create () in
+  let freer = B.func "freer" ~params:[ "q" ] [ B.free (B.v "q") ] in
+  let a1 = B.access b ~base:"p" ~index:(B.i 0) ~scale:8 () in
+  let a2 = B.access b ~base:"p" ~index:(B.i 1) ~scale:8 () in
+  let prog =
+    B.program ~funcs:[ freer ] "barrier"
+      [
+        B.malloc "p" (B.i 64);
+        B.assign "x" (Ast.Load a1);
+        B.call "freer" [ B.v "p" ];
+        B.assign "y" (Ast.Load a2);
+      ]
+  in
+  let plan = Instrument.plan Instrument.Giantsan prog in
+  (* merging p[0] with p[1] across the call would hide the UAF *)
+  Alcotest.(check bool) "no merge across the call" true
+    (Plan.decision_of plan a1.Ast.acc_id = Plan.Plain
+    && Plan.decision_of plan a2.Ast.acc_id = Plan.Plain);
+  let _, out = run prog in
+  Alcotest.(check int) "the UAF after the call is caught" 1
+    (List.length out.Interp.reports)
+
+let test_frames_free_on_exception_paths () =
+  (* a crash inside a callee still unwinds its frame bookkeeping *)
+  let f =
+    B.func "f" ~params:[]
+      [ B.alloca "buf" (B.i 32); B.assign "x" B.(i 1 / i 0) ]
+  in
+  let prog = B.program ~funcs:[ f ] "unwind" [ B.call "f" [] ] in
+  let san, out = run prog in
+  Alcotest.(check bool) "crashed" true out.Interp.crashed;
+  Alcotest.(check int) "frame was reclaimed" 1
+    san.San.counters.Giantsan_sanitizer.Counters.frees
+
+let suite =
+  ( "functions",
+    [
+      Helpers.qt "call and return" `Quick test_call_and_return;
+      Helpers.qt "fallthrough returns 0" `Quick test_fallthrough_returns_zero;
+      Helpers.qt "recursion" `Quick test_recursion;
+      Helpers.qt "infinite recursion crashes" `Quick
+        test_infinite_recursion_crashes;
+      Helpers.qt "scoping and by-value params" `Quick test_scoping;
+      Helpers.qt "alloca lifecycle" `Quick test_alloca_lifecycle;
+      Helpers.qt "use-after-return detected" `Quick test_use_after_return;
+      Helpers.qt "stack overflow detected" `Quick test_stack_overflow_detected;
+      Helpers.qt "calls block loop promotion" `Quick test_call_blocks_promotion;
+      Helpers.qt "early return blocks promotion" `Quick
+        test_return_in_loop_blocks_promotion;
+      Helpers.qt "calls are merge barriers" `Quick test_call_is_merge_barrier;
+      Helpers.qt "frames unwind on crashes" `Quick
+        test_frames_free_on_exception_paths;
+    ] )

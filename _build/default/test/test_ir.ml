@@ -1,0 +1,154 @@
+(* IR construction, printing, and the SCEV-lite expression analysis. *)
+
+module Ast = Giantsan_ir.Ast
+module B = Giantsan_ir.Builder
+module Pp = Giantsan_ir.Pp
+module Affine = Giantsan_analysis.Affine
+
+let test_builder_unique_ids () =
+  let b = B.create () in
+  let a1 = B.access b ~base:"p" ~index:(B.i 0) ~scale:4 () in
+  let a2 = B.access b ~base:"p" ~index:(B.i 1) ~scale:4 () in
+  let l = B.for_ b ~idx:"i" ~lo:(B.i 0) ~hi:(B.i 10) [] in
+  Alcotest.(check bool) "distinct access ids" true (a1.Ast.acc_id <> a2.Ast.acc_id);
+  (match l with
+  | Ast.For { loop_id; _ } ->
+    Alcotest.(check bool) "loop id distinct" true
+      (loop_id <> a1.Ast.acc_id && loop_id <> a2.Ast.acc_id)
+  | _ -> Alcotest.fail "expected For")
+
+let test_default_widths () =
+  let b = B.create () in
+  let a = B.access b ~base:"p" ~index:(B.i 0) ~scale:8 () in
+  Alcotest.(check int) "w8 for scale 8" 8 (Ast.bytes_of_width a.Ast.width);
+  let a1 = B.access b ~base:"p" ~index:(B.i 0) ~scale:3 () in
+  Alcotest.(check int) "w1 for odd scale" 1 (Ast.bytes_of_width a1.Ast.width)
+
+let test_accesses_collection () =
+  let b = B.create () in
+  let prog =
+    B.program "t"
+      [
+        B.malloc "p" (B.i 64);
+        B.assign "x" (B.load b ~base:"p" ~index:(B.i 0) ~scale:4 ());
+        B.for_ b ~idx:"i" ~lo:(B.i 0) ~hi:(B.i 4)
+          [ B.store b ~base:"p" ~index:(B.v "i") ~scale:4 ~value:(B.v "i") () ];
+      ]
+  in
+  Alcotest.(check int) "two accesses" 2 (List.length (Ast.program_accesses prog))
+
+let test_assigned_vars () =
+  let b = B.create () in
+  let body =
+    [
+      B.assign "x" (B.i 1);
+      B.if_ B.(v "x" < i 3) [ B.assign "y" (B.i 2) ] [];
+      B.for_ b ~idx:"k" ~lo:(B.i 0) ~hi:(B.i 2) [ B.assign "z" (B.i 9) ];
+    ]
+  in
+  let vars = Ast.assigned_vars body in
+  List.iter
+    (fun v -> Alcotest.(check bool) (v ^ " assigned") true (List.mem v vars))
+    [ "x"; "y"; "k"; "z" ];
+  Alcotest.(check bool) "p not assigned" false (List.mem "p" vars)
+
+let test_pp_smoke () =
+  let b = B.create () in
+  let prog =
+    B.program "demo"
+      [
+        B.malloc "p" (B.i 64);
+        B.memset b ~dst:"p" ~doff:(B.i 0) ~len:(B.i 64) ~value:(B.i 0);
+        B.free (B.v "p");
+      ]
+  in
+  let s = Pp.program_to_string prog in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true
+        (Astring_contains.contains s needle))
+    [ "demo"; "malloc"; "memset"; "free" ]
+
+let test_const_eval () =
+  Alcotest.(check (option int)) "arith" (Some 14)
+    (Affine.const_eval B.(i 2 + (i 3 * i 4)));
+  Alcotest.(check (option int)) "cmp" (Some 1)
+    (Affine.const_eval B.(i 2 < i 3));
+  Alcotest.(check (option int)) "var blocks" None
+    (Affine.const_eval B.(i 2 + v "x"));
+  Alcotest.(check (option int)) "div by zero" None
+    (Affine.const_eval B.(i 2 / i 0))
+
+let test_linearize () =
+  let lin e =
+    match Affine.linearize ~idx:"i" e with
+    | Some { Affine.coeff; rest } -> Some (coeff, Affine.const_eval rest)
+    | None -> None
+  in
+  Alcotest.(check (option (pair int (option int)))) "i" (Some (1, Some 0))
+    (lin (B.v "i"));
+  Alcotest.(check (option (pair int (option int)))) "3*i+5" (Some (3, Some 5))
+    (lin B.((i 3 * v "i") + i 5));
+  Alcotest.(check (option (pair int (option int)))) "i*2 - i" (Some (1, Some 0))
+    (lin B.((v "i" * i 2) - v "i"));
+  Alcotest.(check (option (pair int (option int)))) "i*i rejected" None
+    (lin B.(v "i" * v "i"));
+  Alcotest.(check (option (pair int (option int)))) "i/2 rejected" None
+    (lin B.(v "i" / i 2));
+  (* invariant var in the rest *)
+  (match Affine.linearize ~idx:"i" B.(v "i" + v "k") with
+  | Some { Affine.coeff = 1; rest } ->
+    Alcotest.(check (list string)) "rest mentions k" [ "k" ] (Ast.expr_vars rest)
+  | _ -> Alcotest.fail "expected affine form")
+
+let test_linearize_rejects_loads () =
+  let b = B.create () in
+  let e = B.(load b ~base:"p" ~index:(v "i") ~scale:4 () + v "i") in
+  Alcotest.(check bool) "loads are not affine" true
+    (Affine.linearize ~idx:"i" e = None)
+
+let test_is_invariant () =
+  Alcotest.(check bool) "const" true (Affine.is_invariant ~assigned:[ "i" ] (B.i 4));
+  Alcotest.(check bool) "free var" true
+    (Affine.is_invariant ~assigned:[ "i" ] (B.v "n"));
+  Alcotest.(check bool) "assigned var" false
+    (Affine.is_invariant ~assigned:[ "i"; "n" ] (B.v "n"));
+  let b = B.create () in
+  Alcotest.(check bool) "load" false
+    (Affine.is_invariant ~assigned:[]
+       (B.load b ~base:"p" ~index:(B.i 0) ~scale:4 ()))
+
+let test_byte_offset () =
+  let b = B.create () in
+  let acc = B.access b ~base:"p" ~index:B.(v "i" + i 2) ~scale:4 ~disp:8 () in
+  match Affine.byte_offset ~idx:"i" acc with
+  | Some (a, rest) ->
+    Alcotest.(check int) "coeff bytes" 4 a;
+    Alcotest.(check (option int)) "rest bytes" (Some 16) (Affine.const_eval rest)
+  | None -> Alcotest.fail "expected affine offset"
+
+let test_simplify () =
+  Alcotest.(check bool) "x+0 = x" true
+    (Affine.simplify B.(v "x" + i 0) = B.v "x");
+  Alcotest.(check bool) "1*x = x" true
+    (Affine.simplify B.(i 1 * v "x") = B.v "x");
+  Alcotest.(check bool) "0*x = 0" true
+    (Affine.simplify B.(i 0 * v "x") = B.i 0);
+  Alcotest.(check bool) "consts folded" true
+    (Affine.simplify B.(i 2 + i 3) = B.i 5)
+
+let suite =
+  ( "ir",
+    [
+      Helpers.qt "builder: unique ids" `Quick test_builder_unique_ids;
+      Helpers.qt "builder: default widths" `Quick test_default_widths;
+      Helpers.qt "ast: access collection" `Quick test_accesses_collection;
+      Helpers.qt "ast: assigned variables" `Quick test_assigned_vars;
+      Helpers.qt "pp: renders the C-ish view" `Quick test_pp_smoke;
+      Helpers.qt "affine: const_eval" `Quick test_const_eval;
+      Helpers.qt "affine: linearize" `Quick test_linearize;
+      Helpers.qt "affine: loads block linearity" `Quick test_linearize_rejects_loads;
+      Helpers.qt "affine: invariance" `Quick test_is_invariant;
+      Helpers.qt "affine: byte offsets" `Quick test_byte_offset;
+      Helpers.qt "affine: simplify" `Quick test_simplify;
+    ] )

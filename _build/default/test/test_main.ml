@@ -1,0 +1,24 @@
+let () =
+  Alcotest.run "giantsan"
+    [
+      Test_util.suite;
+      Test_memsim.suite;
+      Test_encoding.suite;
+      Test_region_check.suite;
+      Test_quasi_bound.suite;
+      Test_asan.suite;
+      Test_lfp.suite;
+      Test_ir.suite;
+      Test_instrument.suite;
+      Test_interp.suite;
+      Test_workload.suite;
+      Test_bugs.suite;
+      Test_report.suite;
+      Test_functions.suite;
+      Test_extensions.suite;
+      Test_difftest.suite;
+      Test_ablation.suite;
+      Test_stress.suite;
+      Test_progfuzz.suite;
+      Test_coverage.suite;
+    ]

@@ -1,0 +1,242 @@
+open Giantsan_memsim
+
+let test_arena_roundtrip () =
+  let a = Arena.create ~size:1024 in
+  Arena.store a ~addr:16 ~width:8 123456789;
+  Alcotest.(check int) "w8" 123456789 (Arena.load a ~addr:16 ~width:8);
+  Arena.store a ~addr:24 ~width:4 0xDEADBEEF;
+  Alcotest.(check int) "w4" 0xDEADBEEF (Arena.load a ~addr:24 ~width:4);
+  Arena.store a ~addr:30 ~width:2 0xFFFF;
+  Alcotest.(check int) "w2" 0xFFFF (Arena.load a ~addr:30 ~width:2);
+  Arena.store a ~addr:33 ~width:1 300;
+  Alcotest.(check int) "w1 truncates" (300 land 0xFF) (Arena.load a ~addr:33 ~width:1)
+
+let test_arena_fill_blit () =
+  let a = Arena.create ~size:256 in
+  Arena.fill a ~addr:8 ~len:16 0xAB;
+  Alcotest.(check int) "filled" 0xAB (Arena.load a ~addr:15 ~width:1);
+  Arena.blit a ~src:8 ~dst:100 ~len:16;
+  Alcotest.(check int) "blitted" 0xAB (Arena.load a ~addr:110 ~width:1);
+  (* overlap-safe like memmove *)
+  Arena.blit a ~src:100 ~dst:104 ~len:8;
+  Alcotest.(check int) "overlap" 0xAB (Arena.load a ~addr:108 ~width:1)
+
+let test_arena_bounds () =
+  let a = Arena.create ~size:128 in
+  Alcotest.check_raises "load past end" (Invalid_argument "Arena: access [128, 129) outside arena of 128 bytes")
+    (fun () -> ignore (Arena.load a ~addr:128 ~width:1));
+  Alcotest.check_raises "negative" (Invalid_argument "Arena: access [-8, 0) outside arena of 128 bytes")
+    (fun () -> ignore (Arena.load a ~addr:(-8) ~width:8))
+
+let test_malloc_alignment () =
+  let h = Heap.create Helpers.small_config in
+  for size = 0 to 40 do
+    let obj = Heap.malloc h size in
+    Alcotest.(check bool) "8-aligned base" true (obj.Memobj.base mod 8 = 0);
+    Alcotest.(check int) "requested size" size obj.Memobj.size
+  done
+
+let test_malloc_redzones () =
+  let h = Heap.create Helpers.small_config in
+  let a = Heap.malloc h 24 in
+  let b = Heap.malloc h 24 in
+  (* at least the configured redzone of poison between consecutive objects *)
+  Alcotest.(check bool) "gap >= redzone" true
+    (b.Memobj.base - (a.Memobj.base + a.Memobj.size) >= 16);
+  let oracle = Heap.oracle h in
+  Alcotest.(check bool) "left rz poisoned" true
+    (Oracle.state oracle (a.Memobj.base - 1) = Oracle.Redzone);
+  Alcotest.(check bool) "right rz poisoned" true
+    (Oracle.state oracle (a.Memobj.base + a.Memobj.size) = Oracle.Redzone);
+  Alcotest.(check bool) "interior addressable" true
+    (Oracle.range_addressable oracle ~lo:a.Memobj.base
+       ~hi:(a.Memobj.base + a.Memobj.size))
+
+let test_malloc_no_overlap () =
+  let h = Heap.create Helpers.small_config in
+  let objs = List.init 20 (fun i -> Heap.malloc h (i * 7)) in
+  let sorted =
+    List.sort (fun (a : Memobj.t) b -> compare a.base b.base) objs
+  in
+  let rec pairwise = function
+    | a :: (b :: _ as rest) ->
+      Alcotest.(check bool) "disjoint blocks" true
+        (Memobj.block_end a <= b.Memobj.block_base);
+      pairwise rest
+    | _ -> ()
+  in
+  pairwise sorted
+
+let test_free_and_errors () =
+  let h = Heap.create Helpers.small_config in
+  let a = Heap.malloc h 100 in
+  (match Heap.free h (a.Memobj.base + 8) with
+  | Error Heap.Free_not_at_start -> ()
+  | _ -> Alcotest.fail "expected Free_not_at_start");
+  (match Heap.free h 0 with
+  | Error Heap.Free_null -> ()
+  | _ -> Alcotest.fail "expected Free_null");
+  (match Heap.free h (a.Memobj.base - 2000) with
+  | Error Heap.Invalid_free -> ()
+  | _ -> Alcotest.fail "expected Invalid_free");
+  (match Heap.free h a.Memobj.base with
+  | Ok { freed; _ } -> Alcotest.(check bool) "freed" true (freed.Memobj.id = a.Memobj.id)
+  | Error _ -> Alcotest.fail "free should succeed");
+  (match Heap.free h a.Memobj.base with
+  | Error Heap.Double_free -> ()
+  | _ -> Alcotest.fail "expected Double_free")
+
+let test_freed_state () =
+  let h = Heap.create Helpers.small_config in
+  let a = Heap.malloc h 64 in
+  ignore (Heap.free h a.Memobj.base);
+  let oracle = Heap.oracle h in
+  Alcotest.(check bool) "freed bytes" true
+    (Oracle.state oracle a.Memobj.base = Oracle.Freed);
+  Alcotest.(check bool) "status quarantined" true
+    (a.Memobj.status = Memobj.Quarantined)
+
+let test_quarantine_fifo () =
+  let q = Quarantine.create ~budget:100 in
+  let mk id len =
+    {
+      Memobj.id;
+      kind = Memobj.Heap;
+      base = 0;
+      size = len;
+      block_base = 0;
+      block_len = len;
+      status = Memobj.Quarantined;
+    }
+  in
+  Alcotest.(check (list int)) "no evict" []
+    (List.map (fun (o : Memobj.t) -> o.id) (Quarantine.push q (mk 1 40)));
+  Alcotest.(check (list int)) "no evict 2" []
+    (List.map (fun (o : Memobj.t) -> o.id) (Quarantine.push q (mk 2 40)));
+  (* 40+40+40 > 100: oldest goes *)
+  Alcotest.(check (list int)) "evict oldest" [ 1 ]
+    (List.map (fun (o : Memobj.t) -> o.id) (Quarantine.push q (mk 3 40)));
+  Alcotest.(check int) "held" 80 (Quarantine.bytes_held q)
+
+let test_quarantine_recycling () =
+  (* a tiny quarantine forces immediate recycling, reopening the block for
+     reuse: the paper's quarantine-bypass window *)
+  let config = { Helpers.small_config with Giantsan_memsim.Heap.quarantine_budget = 0 } in
+  let h = Heap.create config in
+  let a = Heap.malloc h 64 in
+  (match Heap.free h a.Memobj.base with
+  | Ok { evicted; _ } ->
+    Alcotest.(check int) "evicted immediately" 1 (List.length evicted)
+  | Error _ -> Alcotest.fail "free failed");
+  Alcotest.(check bool) "status recycled" true (a.Memobj.status = Memobj.Recycled);
+  let b = Heap.malloc h 64 in
+  Alcotest.(check int) "block reused" a.Memobj.base b.Memobj.base
+
+let test_stack_objects_recycle_immediately () =
+  let h = Heap.create Helpers.small_config in
+  let a = Heap.malloc h ~kind:Memobj.Stack 48 in
+  (match Heap.free h a.Memobj.base with
+  | Ok { evicted; _ } ->
+    Alcotest.(check int) "stack skips quarantine" 1 (List.length evicted)
+  | Error _ -> Alcotest.fail "free failed");
+  let oracle = Heap.oracle h in
+  Alcotest.(check bool) "unallocated after pop" true
+    (Oracle.state oracle a.Memobj.base = Oracle.Unallocated)
+
+let test_owner_lookup () =
+  let h = Heap.create Helpers.small_config in
+  let a = Heap.malloc h 100 in
+  (match Heap.find_object h (a.Memobj.base + 50) with
+  | Some o -> Alcotest.(check int) "inside" a.Memobj.id o.Memobj.id
+  | None -> Alcotest.fail "owner expected");
+  (match Heap.find_object h (a.Memobj.base - 4) with
+  | Some o -> Alcotest.(check int) "left redzone owned" a.Memobj.id o.Memobj.id
+  | None -> Alcotest.fail "redzone owner expected");
+  Alcotest.(check bool) "null unowned" true (Heap.find_object h 0 = None)
+
+let test_out_of_memory () =
+  let config =
+    { Giantsan_memsim.Heap.arena_size = 2048; redzone = 16; quarantine_budget = 0 }
+  in
+  let h = Heap.create config in
+  Alcotest.check_raises "oom" Out_of_memory (fun () ->
+      for _ = 1 to 100 do
+        ignore (Heap.malloc h 128)
+      done)
+
+let test_live_bytes () =
+  let h = Heap.create Helpers.small_config in
+  let a = Heap.malloc h 100 in
+  let _b = Heap.malloc h 50 in
+  Alcotest.(check int) "after allocs" 150 (Heap.live_bytes h);
+  ignore (Heap.free h a.Memobj.base);
+  Alcotest.(check int) "after free" 50 (Heap.live_bytes h)
+
+let test_oracle_first_bad () =
+  let h = Heap.create Helpers.small_config in
+  let a = Heap.malloc h 32 in
+  let oracle = Heap.oracle h in
+  Alcotest.(check (option int)) "clean" None
+    (Oracle.first_bad oracle ~lo:a.Memobj.base ~hi:(a.Memobj.base + 32));
+  Alcotest.(check (option int)) "first bad is end" (Some (a.Memobj.base + 32))
+    (Oracle.first_bad oracle ~lo:a.Memobj.base ~hi:(a.Memobj.base + 40))
+
+let test_first_fit_reuse () =
+  (* exhaust the bump space, then satisfy smaller requests by splitting a
+     recycled large block *)
+  let config =
+    { Giantsan_memsim.Heap.arena_size = 4096; redzone = 16; quarantine_budget = 0 }
+  in
+  let h = Heap.create config in
+  (* the big block leaves almost no bump space behind it *)
+  let big = Heap.malloc h 3800 in
+  ignore (Heap.free h big.Memobj.base);
+  (* bump space is nearly gone; these must carve the recycled block *)
+  let a = Heap.malloc h 400 in
+  let b = Heap.malloc h 400 in
+  Alcotest.(check bool) "a inside the old block" true
+    (a.Memobj.block_base >= big.Memobj.block_base
+    && Memobj.block_end a <= Memobj.block_end big);
+  Alcotest.(check bool) "disjoint" true
+    (Memobj.block_end a <= b.Memobj.block_base
+    || Memobj.block_end b <= a.Memobj.block_base);
+  let oracle = Heap.oracle h in
+  Alcotest.(check bool) "both addressable" true
+    (Oracle.range_addressable oracle ~lo:a.Memobj.base ~hi:(a.Memobj.base + 400)
+    && Oracle.range_addressable oracle ~lo:b.Memobj.base ~hi:(b.Memobj.base + 400))
+
+let test_malloc_zero () =
+  let h = Heap.create Helpers.small_config in
+  let a = Heap.malloc h 0 in
+  let oracle = Heap.oracle h in
+  Alcotest.(check bool) "no addressable bytes" true
+    (Oracle.state oracle a.Memobj.base <> Oracle.Addressable);
+  (* freeing a zero-size object still works *)
+  match Heap.free h a.Memobj.base with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "free of size-0 object"
+
+let suite =
+  ( "memsim",
+    [
+      Helpers.qt "arena: load/store round-trip" `Quick test_arena_roundtrip;
+      Helpers.qt "arena: fill and blit" `Quick test_arena_fill_blit;
+      Helpers.qt "arena: bounds checked" `Quick test_arena_bounds;
+      Helpers.qt "heap: 8-byte alignment" `Quick test_malloc_alignment;
+      Helpers.qt "heap: redzones surround objects" `Quick test_malloc_redzones;
+      Helpers.qt "heap: blocks never overlap" `Quick test_malloc_no_overlap;
+      Helpers.qt "heap: free error taxonomy" `Quick test_free_and_errors;
+      Helpers.qt "heap: freed bytes poisoned" `Quick test_freed_state;
+      Helpers.qt "quarantine: FIFO with byte budget" `Quick test_quarantine_fifo;
+      Helpers.qt "quarantine: zero budget recycles at once" `Quick
+        test_quarantine_recycling;
+      Helpers.qt "heap: stack frames skip quarantine" `Quick
+        test_stack_objects_recycle_immediately;
+      Helpers.qt "heap: owner lookup" `Quick test_owner_lookup;
+      Helpers.qt "heap: out of memory" `Quick test_out_of_memory;
+      Helpers.qt "heap: live byte accounting" `Quick test_live_bytes;
+      Helpers.qt "oracle: first_bad" `Quick test_oracle_first_bad;
+      Helpers.qt "heap: first-fit splits recycled blocks" `Quick
+        test_first_fit_reuse;
+      Helpers.qt "heap: malloc(0)" `Quick test_malloc_zero;
+    ] )

@@ -1,0 +1,162 @@
+(* IR-level fuzzing of the whole pipeline: random programs through every
+   instrumentation mode. Catches false positives from bad merging or
+   promotion, semantic divergence between plans, and missed detections. *)
+
+module Ast = Giantsan_ir.Ast
+module B = Giantsan_ir.Builder
+module Instrument = Giantsan_analysis.Instrument
+module Interp = Giantsan_analysis.Interp
+module Runner = Giantsan_workload.Runner
+module Report = Giantsan_sanitizer.Report
+module Rng = Giantsan_util.Rng
+module Memsim = Giantsan_memsim
+
+let heap =
+  { Memsim.Heap.arena_size = 1 lsl 17; redzone = 16; quarantine_budget = 8192 }
+
+(* A random program over a few arrays whose every access is in bounds by
+   construction. Mirrors the workload generator's shapes but with randomer
+   structure: nested ifs, nested loops, functions with allocas. *)
+let gen_safe_program seed =
+  let rng = Rng.create (seed + 7777) in
+  let b = B.create () in
+  let n = Rng.int_in rng 8 64 in
+  let arrays = [ "a"; "c" ] in
+  let arr () = List.nth arrays (Rng.int rng 2) in
+  let rec gen_stmts depth budget =
+    if budget <= 0 then []
+    else begin
+      let stmt =
+        match Rng.int rng (if depth > 2 then 6 else 8) with
+        | 0 ->
+          (* in-bounds affine store *)
+          B.store b ~base:(arr ()) ~index:(B.v "i") ~scale:8 ~value:(B.v "i") ()
+        | 1 -> B.assign "s" B.(v "s" + load b ~base:(arr ()) ~index:(v "i") ~scale:8 ())
+        | 2 ->
+          (* constant-offset accesses (merge fodder) *)
+          B.assign "s"
+            B.(
+              load b ~base:(arr ()) ~index:(i (Rng.int rng n)) ~scale:8 ()
+              + load b ~base:(arr ()) ~index:(i (Rng.int rng n)) ~scale:8 ())
+        | 3 ->
+          B.memset b ~dst:(arr ()) ~doff:(B.i 0)
+            ~len:(B.i (8 * Rng.int_in rng 1 n))
+            ~value:(B.i (Rng.int rng 255))
+        | 4 ->
+          (* data-dependent index, in bounds via modulo *)
+          B.store b ~base:(arr ())
+            ~index:B.((v "i" * i 13) % i n)
+            ~scale:8 ~value:(B.v "s") ()
+        | 5 -> B.assign "s" B.(v "s" + (v "i" * i 3))
+        | 6 ->
+          B.for_ b ~idx:(Printf.sprintf "i%d" depth) ~lo:(B.i 0)
+            ~hi:(B.i (Rng.int_in rng 1 n))
+            (B.assign "i" (B.v (Printf.sprintf "i%d" depth))
+            :: gen_stmts (depth + 1) (budget / 2))
+        | _ ->
+          B.if_
+            B.(v "s" % i 3 = i 0)
+            (gen_stmts (depth + 1) (budget / 2))
+            (gen_stmts (depth + 1) (budget / 2))
+      in
+      stmt :: gen_stmts depth (budget - 1)
+    end
+  in
+  let helper =
+    B.func "helper" ~params:[ "m" ]
+      [
+        B.alloca "hbuf" (B.i 64);
+        (* ((m mod 8) + 8) mod 8: in bounds even for negative m — loads of
+           memset-patterned memory are negative 64-bit values *)
+        B.assign "mi" B.(((v "m" % i 8) + i 8) % i 8);
+        B.store b ~base:"hbuf" ~index:(B.v "mi") ~scale:8 ~value:(B.v "m") ();
+        B.return_ (Some (B.load b ~base:"hbuf" ~index:(B.v "mi") ~scale:8 ()));
+      ]
+  in
+  let body =
+    [
+      B.malloc "a" (B.i (8 * n));
+      B.malloc "c" (B.i (8 * n));
+      B.assign "s" (B.i 1);
+      B.assign "i" (B.i 0);
+    ]
+    @ gen_stmts 0 (Rng.int_in rng 3 10)
+    @ [ B.call ~dst:"h" "helper" [ B.v "s" ] ]
+  in
+  B.program ~funcs:[ helper ] (Printf.sprintf "fuzz_%d" seed) body
+
+let modes =
+  [
+    Runner.Native; Runner.Asan; Runner.Asanmm; Runner.Lfp; Runner.Giantsan;
+    Runner.Cache_only; Runner.Elim_only;
+  ]
+
+let run_mode prog config =
+  let san = Runner.make_sanitizer ~heap config in
+  let plan = Instrument.plan (Runner.instrument_mode config) prog in
+  Interp.run san plan prog
+
+let test_no_false_positives =
+  Helpers.q "random safe programs: silent under every mode" QCheck.small_int
+    (fun seed ->
+      let prog = gen_safe_program seed in
+      List.for_all
+        (fun config ->
+          let out = run_mode prog config in
+          out.Interp.reports = []
+          && (not out.Interp.crashed)
+          && not out.Interp.fuel_exhausted)
+        modes)
+
+let test_semantic_equivalence =
+  Helpers.q "all modes compute identical results" QCheck.small_int
+    (fun seed ->
+      let prog = gen_safe_program seed in
+      let reference = run_mode prog Runner.Native in
+      let s0 = Interp.var reference "s" in
+      let ops0 = reference.Interp.ops in
+      List.for_all
+        (fun config ->
+          let out = run_mode prog config in
+          Interp.var out "s" = s0 && out.Interp.ops = ops0)
+        modes)
+
+(* inject one out-of-bounds loop at the end of a random safe program *)
+let test_injected_overflow_detected =
+  Helpers.q "injected loop overflow detected by every sanitizer"
+    QCheck.small_int
+    (fun seed ->
+      let safe = gen_safe_program seed in
+      let b = B.create () in
+      let bad_loop =
+        (* trip count is data-dependent (loaded), so no tool can reject it
+           statically; the last iterations run past the end of "a" *)
+        [
+          B.store b ~base:"a" ~index:(B.i 0) ~scale:8 ~value:(B.i 9) ();
+          B.assign "lim" B.(load b ~base:"a" ~index:(i 0) ~scale:8 () * i 100);
+          B.assign "k" (B.i 0);
+          B.while_ b
+            ~cond:B.(v "k" < v "lim")
+            [
+              B.store b ~base:"a" ~index:(B.v "k") ~scale:8 ~value:(B.i 1) ();
+              B.assign "k" B.(v "k" + i 1);
+            ];
+        ]
+      in
+      let prog =
+        { safe with Ast.body = safe.Ast.body @ bad_loop; name = "inj" }
+      in
+      List.for_all
+        (fun config ->
+          let out = run_mode prog config in
+          out.Interp.reports <> [])
+        [ Runner.Asan; Runner.Asanmm; Runner.Giantsan; Runner.Cache_only;
+          Runner.Elim_only ])
+
+let suite =
+  ( "progfuzz",
+    [
+      test_no_false_positives;
+      test_semantic_equivalence;
+      test_injected_overflow_detected;
+    ] )

@@ -1,0 +1,172 @@
+(* History caching (§4.3, Figure 9): correctness and the metadata-loading
+   guarantees that motivate it. *)
+
+module San = Giantsan_sanitizer.Sanitizer
+module Counters = Giantsan_sanitizer.Counters
+module Memsim = Giantsan_memsim
+
+let fresh () =
+  let san = Helpers.giantsan ~config:Helpers.small_config () in
+  let obj = san.San.malloc 1024 in
+  (san, obj.Memsim.Memobj.base)
+
+let test_forward_loop_loads_logarithmic () =
+  let san, base = fresh () in
+  let cache = san.San.new_cache ~base in
+  let loads_before = san.San.shadow_loads () in
+  for j = 0 to 255 do
+    match san.San.cached_access cache ~off:(4 * j) ~width:4 with
+    | None -> ()
+    | Some r ->
+      Alcotest.failf "spurious report: %s" (Giantsan_sanitizer.Report.to_string r)
+  done;
+  let loads = san.San.shadow_loads () - loads_before in
+  (* paper: at most ceil(log2 (n/8)) quasi-bound updates; each costs O(1)
+     loads. 1024/8 = 128 segments -> <= 7 updates, a handful of loads each *)
+  Alcotest.(check bool)
+    (Printf.sprintf "O(log n) loads, got %d" loads)
+    true (loads <= 30);
+  Alcotest.(check bool) "far fewer than ASan's 256" true (loads < 64)
+
+let test_cache_hits_dominate () =
+  let san, base = fresh () in
+  let cache = san.San.new_cache ~base in
+  for j = 0 to 255 do
+    ignore (san.San.cached_access cache ~off:(4 * j) ~width:4)
+  done;
+  let c = san.San.counters in
+  Alcotest.(check bool) "hits >> updates" true
+    (c.Counters.cache_hits > 200 && c.Counters.cache_updates <= 10)
+
+let test_overflow_detected_at_boundary () =
+  let san, base = fresh () in
+  let cache = san.San.new_cache ~base in
+  for j = 0 to 255 do
+    ignore (san.San.cached_access cache ~off:(4 * j) ~width:4)
+  done;
+  (* one past the end *)
+  match san.San.cached_access cache ~off:1024 ~width:4 with
+  | Some _ -> ()
+  | None -> Alcotest.fail "overflow missed through the cache"
+
+let test_cache_never_claims_beyond_object =
+  Helpers.q "quasi-bound stays within the object"
+    QCheck.(pair (int_range 1 500) (list_of_size (Gen.int_range 1 50) small_nat))
+    (fun (size, offsets) ->
+      let san = Helpers.giantsan ~config:Helpers.small_config () in
+      let obj = san.San.malloc size in
+      let base = obj.Memsim.Memobj.base in
+      let cache = san.San.new_cache ~base in
+      List.for_all
+        (fun off_pick ->
+          let off = off_pick mod (size + 64) in
+          let verdict_safe =
+            Helpers.check_is_safe (san.San.cached_access cache ~off ~width:1)
+          in
+          let truly_safe = off + 1 <= size in
+          verdict_safe = truly_safe)
+        offsets)
+
+let test_negative_offsets_always_checked () =
+  let san, base = fresh () in
+  let cache = san.San.new_cache ~base in
+  (* warm the cache *)
+  for j = 0 to 99 do
+    ignore (san.San.cached_access cache ~off:(4 * j) ~width:4)
+  done;
+  let c = san.San.counters in
+  let before = c.Counters.underflow_checks in
+  (* in-object negative offsets relative to a mid-object pointer are not a
+     thing here (base is the object base), so these hit the left redzone *)
+  (match san.San.cached_access cache ~off:(-4) ~width:4 with
+  | Some _ -> ()
+  | None -> Alcotest.fail "underflow missed");
+  Alcotest.(check int) "dedicated underflow check ran" (before + 1)
+    c.Counters.underflow_checks
+
+let test_negative_offset_within_object () =
+  (* a pointer into the middle of an object: negative offsets that stay
+     inside the object are fine and still checked each time *)
+  let san, base = fresh () in
+  let mid = base + 512 in
+  let cache = san.San.new_cache ~base:mid in
+  for j = 1 to 10 do
+    match san.San.cached_access cache ~off:(-4 * j) ~width:4 with
+    | None -> ()
+    | Some r ->
+      Alcotest.failf "spurious underflow report: %s"
+        (Giantsan_sanitizer.Report.to_string r)
+  done;
+  let c = san.San.counters in
+  Alcotest.(check bool) "no caching on the low side" true
+    (c.Counters.underflow_checks >= 10)
+
+let test_flush_catches_mid_loop_free () =
+  (* Figure 9 line 14: a free during the loop is caught by the final check *)
+  let san, base = fresh () in
+  let cache = san.San.new_cache ~base in
+  for j = 0 to 49 do
+    ignore (san.San.cached_access cache ~off:(8 * j) ~width:8)
+  done;
+  ignore (san.San.free base);
+  (* cache hits keep passing (that is the documented trade)... *)
+  Alcotest.(check bool) "cached access sails through" true
+    (Helpers.check_is_safe (san.San.cached_access cache ~off:16 ~width:8));
+  (* ...but the loop-exit flush sees the freed shadow *)
+  match san.San.flush_cache cache with
+  | Some r ->
+    Alcotest.(check string) "classified as UAF" "heap-use-after-free"
+      (Giantsan_sanitizer.Report.kind_name r.Giantsan_sanitizer.Report.kind)
+  | None -> Alcotest.fail "flush missed the mid-loop free"
+
+let test_flush_clean_loop_is_silent () =
+  let san, base = fresh () in
+  let cache = san.San.new_cache ~base in
+  for j = 0 to 49 do
+    ignore (san.San.cached_access cache ~off:(8 * j) ~width:8)
+  done;
+  Alcotest.(check bool) "clean flush" true
+    (Helpers.check_is_safe (san.San.flush_cache cache));
+  (* an untouched cache flushes silently too *)
+  let cold = san.San.new_cache ~base in
+  Alcotest.(check bool) "cold flush" true
+    (Helpers.check_is_safe (san.San.flush_cache cold))
+
+let test_random_access_converges () =
+  (* random order: the quasi-bound still converges in O(log n) updates *)
+  let san, base = fresh () in
+  let cache = san.San.new_cache ~base in
+  let rng = Giantsan_util.Rng.create 99 in
+  for _ = 1 to 2000 do
+    let j = Giantsan_util.Rng.int rng 128 in
+    match san.San.cached_access cache ~off:(8 * j) ~width:8 with
+    | None -> ()
+    | Some r ->
+      Alcotest.failf "spurious report: %s" (Giantsan_sanitizer.Report.to_string r)
+  done;
+  let c = san.San.counters in
+  Alcotest.(check bool)
+    (Printf.sprintf "few updates (%d)" c.Counters.cache_updates)
+    true
+    (c.Counters.cache_updates <= 12);
+  Alcotest.(check bool) "rest were hits" true (c.Counters.cache_hits >= 1980)
+
+let suite =
+  ( "quasi_bound",
+    [
+      Helpers.qt "forward loop: O(log n) metadata loads" `Quick
+        test_forward_loop_loads_logarithmic;
+      Helpers.qt "hits dominate updates" `Quick test_cache_hits_dominate;
+      Helpers.qt "overflow at the boundary detected" `Quick
+        test_overflow_detected_at_boundary;
+      test_cache_never_claims_beyond_object;
+      Helpers.qt "negative offsets: dedicated check" `Quick
+        test_negative_offsets_always_checked;
+      Helpers.qt "negative offsets inside object pass" `Quick
+        test_negative_offset_within_object;
+      Helpers.qt "flush catches mid-loop free" `Quick
+        test_flush_catches_mid_loop_free;
+      Helpers.qt "flush is silent on clean loops" `Quick
+        test_flush_clean_loop_is_silent;
+      Helpers.qt "random access converges" `Quick test_random_access_converges;
+    ] )

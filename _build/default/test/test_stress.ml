@@ -1,0 +1,146 @@
+(* Whole-system stress properties: after ANY storm of allocator operations,
+   shadow memory and ground truth agree byte for byte, and every folded
+   summary is truthful. This is the invariant everything else rests on. *)
+
+module Memsim = Giantsan_memsim
+module San = Giantsan_sanitizer.Sanitizer
+module Interceptors = Giantsan_sanitizer.Interceptors
+module SC = Giantsan_core.State_code
+module AE = Giantsan_asan.Asan_encoding
+module Shadow_mem = Giantsan_shadow.Shadow_mem
+module Rng = Giantsan_util.Rng
+
+let storm_config =
+  { Memsim.Heap.arena_size = 1 lsl 16; redzone = 16; quarantine_budget = 2048 }
+
+(* Random operation storm against one sanitizer. Returns live pointer set. *)
+let storm rng (san : San.t) n_ops =
+  let live = ref [] in
+  for _ = 1 to n_ops do
+    match Rng.int rng 5 with
+    | 0 | 1 ->
+      (try
+         let obj = san.San.malloc (Rng.int_in rng 0 400) in
+         live := obj.Memsim.Memobj.base :: !live
+       with Out_of_memory -> ())
+    | 2 -> (
+      match !live with
+      | [] -> ()
+      | ptr :: rest ->
+        ignore (san.San.free ptr);
+        live := rest)
+    | 3 -> (
+      (* realloc a random live pointer *)
+      match !live with
+      | [] -> ()
+      | ptr :: rest -> (
+        match Interceptors.realloc san ~ptr ~size:(Rng.int_in rng 0 300) with
+        | Ok obj -> live := obj.Memsim.Memobj.base :: rest
+        | Error _ -> live := rest))
+    | _ -> (
+      (* calloc for variety *)
+      try
+        let obj = Interceptors.calloc san ~count:(Rng.int_in rng 1 8)
+            ~size:(Rng.int_in rng 1 32)
+        in
+        live := obj.Memsim.Memobj.base :: !live
+      with Out_of_memory -> ())
+  done;
+  !live
+
+(* byte-level addressability implied by a shadow byte *)
+let shadow_says decode m addr =
+  let v = Shadow_mem.peek m (addr / 8) in
+  addr land 7 < decode v
+
+let oracle_says oracle addr =
+  Memsim.Oracle.state oracle addr = Memsim.Oracle.Addressable
+
+let agree decode (san : San.t) m =
+  let oracle = Memsim.Heap.oracle san.San.heap in
+  let size = Memsim.Arena.size (Memsim.Heap.arena san.San.heap) in
+  let ok = ref true in
+  (* every byte of the arena: shadow and oracle agree *)
+  let addr = ref 0 in
+  while !ok && !addr < size do
+    if shadow_says decode m !addr <> oracle_says oracle !addr then ok := false;
+    incr addr
+  done;
+  !ok
+
+let test_giantsan_shadow_oracle_agreement =
+  Helpers.q "GiantSan shadow == oracle after any op storm" QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create seed in
+      let san, m = Giantsan_core.Gs_runtime.create_exposed storm_config in
+      ignore (storm rng san (Rng.int_in rng 5 120));
+      agree SC.addressable_in_segment san m)
+
+let test_asan_shadow_oracle_agreement =
+  Helpers.q "ASan shadow == oracle after any op storm" QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create seed in
+      let san, m = Giantsan_asan.Asan_runtime.create_exposed storm_config in
+      ignore (storm rng san (Rng.int_in rng 5 120));
+      agree AE.addressable_in_segment san m)
+
+let test_folds_always_truthful =
+  (* every folded code claims 2^d good segments: verify against the oracle
+     for the whole shadow after a storm *)
+  Helpers.q "every fold's claim holds" QCheck.small_int (fun seed ->
+      let rng = Rng.create seed in
+      let san, m = Giantsan_core.Gs_runtime.create_exposed storm_config in
+      ignore (storm rng san (Rng.int_in rng 5 120));
+      let oracle = Memsim.Heap.oracle san.San.heap in
+      let ok = ref true in
+      for seg = 0 to Shadow_mem.segments m - 1 do
+        let v = Shadow_mem.peek m seg in
+        if SC.is_folded v then begin
+          let covered = SC.covered_bytes v in
+          let hi = min ((seg * 8) + covered) (Shadow_mem.segments m * 8) in
+          if not (Memsim.Oracle.range_addressable oracle ~lo:(seg * 8) ~hi)
+          then ok := false
+        end
+      done;
+      !ok)
+
+let test_live_pointers_stay_valid =
+  (* after the storm, every live pointer's full extent passes its region
+     check — no sanitizer state corruption *)
+  Helpers.q "live objects remain fully addressable" QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create seed in
+      let san = Giantsan_core.Gs_runtime.create storm_config in
+      let live = storm rng san (Rng.int_in rng 5 120) in
+      List.for_all
+        (fun ptr ->
+          match Memsim.Heap.find_object san.San.heap ptr with
+          | Some obj when obj.Memsim.Memobj.status = Memsim.Memobj.Live ->
+            Helpers.check_is_safe
+              (san.San.check_region ~lo:ptr ~hi:(ptr + obj.Memsim.Memobj.size))
+          | _ -> true)
+        live)
+
+let test_determinism_across_tools =
+  (* identical storms against GiantSan and ASan leave identical heap
+     layouts (placement does not depend on the sanitizer) *)
+  Helpers.q "heap layout is sanitizer-independent" QCheck.small_int
+    (fun seed ->
+      let run make =
+        let rng = Rng.create seed in
+        let san = make storm_config in
+        let live = storm rng san (Rng.int_in rng 5 80) in
+        live
+      in
+      run Giantsan_core.Gs_runtime.create
+      = run Giantsan_asan.Asan_runtime.create)
+
+let suite =
+  ( "stress",
+    [
+      test_giantsan_shadow_oracle_agreement;
+      test_asan_shadow_oracle_agreement;
+      test_folds_always_truthful;
+      test_live_pointers_stay_valid;
+      test_determinism_across_tools;
+    ] )

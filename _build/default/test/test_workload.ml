@@ -1,0 +1,192 @@
+(* Workload generation, the runner, traversal kernels and the cost model. *)
+
+module Specgen = Giantsan_workload.Specgen
+module Profiles = Giantsan_workload.Profiles
+module Runner = Giantsan_workload.Runner
+module Traversal = Giantsan_workload.Traversal
+module Cost_model = Giantsan_workload.Cost_model
+module Pp = Giantsan_ir.Pp
+module Counters = Giantsan_sanitizer.Counters
+module Interp = Giantsan_analysis.Interp
+module San = Giantsan_sanitizer.Sanitizer
+module Memsim = Giantsan_memsim
+
+let tiny_profile =
+  {
+    (Profiles.find "505.mcf_r") with
+    Specgen.p_name = "tiny";
+    p_phases = 3;
+    p_iters = 64;
+    p_obj_size = 150;
+  }
+
+let tiny_heap =
+  { Memsim.Heap.arena_size = 1 lsl 17; redzone = 16; quarantine_budget = 8192 }
+
+let test_generation_deterministic () =
+  let p1 = Specgen.generate tiny_profile in
+  let p2 = Specgen.generate tiny_profile in
+  Alcotest.(check string) "same program twice"
+    (Pp.program_to_string p1) (Pp.program_to_string p2)
+
+let test_profiles_complete () =
+  Alcotest.(check int) "24 projects" 24 (List.length Profiles.all);
+  List.iter
+    (fun (p : Specgen.profile) ->
+      ignore (Profiles.native_seconds p.Specgen.p_name);
+      Alcotest.(check bool)
+        (p.Specgen.p_name ^ " has work")
+        true
+        (p.Specgen.p_phases > 0 && p.Specgen.p_iters > 0))
+    Profiles.all;
+  (* Table 2's CE/RE cells *)
+  let ce =
+    List.filter
+      (fun (p : Specgen.profile) -> p.Specgen.p_lfp_status = `Compile_error)
+      Profiles.all
+  in
+  (* perlbench (both runs), gcc_r, parest, imagick_r: Table 2's CE cells *)
+  Alcotest.(check int) "five LFP compile errors" 5 (List.length ce)
+
+let test_workloads_are_clean () =
+  (* generated workloads must be violation-free: any report would poison
+     the overhead comparison *)
+  List.iter
+    (fun config ->
+      let r = Runner.run_one ~heap:tiny_heap tiny_profile config in
+      Alcotest.(check int)
+        (Runner.config_name config ^ " reports")
+        0 r.Runner.r_reports;
+      Alcotest.(check bool) "completed" true (r.Runner.r_status = Runner.Completed))
+    Runner.all_configs
+
+let test_all_profiles_clean_under_giantsan () =
+  (* the full 24 programs, GiantSan only (the expensive sweep lives in
+     bin/main.exe table2) *)
+  List.iter
+    (fun (p : Specgen.profile) ->
+      let r = Runner.run_one p Runner.Giantsan in
+      Alcotest.(check int) (p.Specgen.p_name ^ " clean") 0 r.Runner.r_reports)
+    Profiles.all
+
+let test_lfp_skips_ce_projects () =
+  let p = Profiles.find "502.gcc_r" in
+  let r = Runner.run_one p Runner.Lfp in
+  Alcotest.(check bool) "CE" true (r.Runner.r_status = Runner.Compile_error)
+
+let test_check_ordering () =
+  (* the paper's core claim at workload level: GiantSan executes far fewer
+     checks + loads than ASan on the same program *)
+  let g = Runner.run_one ~heap:tiny_heap tiny_profile Runner.Giantsan in
+  let a = Runner.run_one ~heap:tiny_heap tiny_profile Runner.Asan in
+  Alcotest.(check bool) "fewer metadata loads" true
+    (g.Runner.r_shadow_loads < a.Runner.r_shadow_loads / 2);
+  Alcotest.(check bool) "identical native work" true
+    (g.Runner.r_ops = a.Runner.r_ops)
+
+let test_overhead_ordering () =
+  let results = Runner.run_profile ~configs:Runner.all_configs tiny_profile in
+  let sim c =
+    (List.find (fun r -> r.Runner.r_config = c) results).Runner.r_sim_ns
+  in
+  Alcotest.(check bool) "native cheapest" true
+    (sim Runner.Native < sim Runner.Giantsan);
+  Alcotest.(check bool) "giantsan beats asan" true
+    (sim Runner.Giantsan < sim Runner.Asan);
+  Alcotest.(check bool) "ablations sit between" true
+    (sim Runner.Giantsan <= sim Runner.Cache_only
+    && sim Runner.Giantsan <= sim Runner.Elim_only)
+
+let test_cost_model_monotone () =
+  let base =
+    {
+      Cost_model.ops = 1000;
+      shadow_loads = 0;
+      counters = Counters.create ();
+      is_sanitized = false;
+      is_lfp = false;
+      stack_fraction = 0.0;
+    }
+  in
+  let t0 = Cost_model.simulated_ns base in
+  let t1 = Cost_model.simulated_ns { base with Cost_model.ops = 2000 } in
+  Alcotest.(check bool) "more ops, more time" true (t1 > t0);
+  let c = Counters.create () in
+  c.Counters.instr_checks <- 500;
+  let t2 =
+    Cost_model.simulated_ns
+      { base with Cost_model.counters = c; is_sanitized = true; shadow_loads = 500 }
+  in
+  Alcotest.(check bool) "checks cost" true (t2 > t0);
+  (* unsanitized runs ignore check counters *)
+  let t3 =
+    Cost_model.simulated_ns { base with Cost_model.counters = c; shadow_loads = 500 }
+  in
+  Alcotest.(check (float 1e-9)) "native ignores sanitizer events" t0 t3
+
+let test_traversal_kernels_clean () =
+  List.iter
+    (fun config ->
+      let san = Runner.make_sanitizer ~heap:tiny_heap config in
+      let base = Traversal.prepare san ~size:4096 in
+      let f = Traversal.forward san ~base ~size:4096 in
+      let r = Traversal.random san ~seed:5 ~base ~size:4096 in
+      let v = Traversal.reverse san ~base ~size:4096 in
+      List.iter
+        (fun (label, (res : Traversal.result)) ->
+          Alcotest.(check int)
+            (Runner.config_name config ^ " " ^ label ^ " reports")
+            0 res.Traversal.t_reports)
+        [ ("forward", f); ("random", r); ("reverse", v) ];
+      (* every kernel reads the same bytes *)
+      Alcotest.(check int) "same checksum fwd/rev" f.Traversal.t_checksum
+        v.Traversal.t_checksum)
+    [ Runner.Native; Runner.Giantsan; Runner.Asan ]
+
+let test_traversal_load_asymmetry () =
+  (* the Figure 11 story in loads: forward tiny, reverse huge, ASan flat *)
+  let gs = Runner.make_sanitizer ~heap:tiny_heap Runner.Giantsan in
+  let base = Traversal.prepare gs ~size:8192 in
+  let fwd = Traversal.forward gs ~base ~size:8192 in
+  let rev = Traversal.reverse gs ~base ~size:8192 in
+  Alcotest.(check bool)
+    (Printf.sprintf "forward O(log n) loads (%d)" fwd.Traversal.t_shadow_loads)
+    true
+    (fwd.Traversal.t_shadow_loads < 24);
+  Alcotest.(check bool)
+    (Printf.sprintf "reverse pays per access (%d)" rev.Traversal.t_shadow_loads)
+    true
+    (rev.Traversal.t_shadow_loads > 1024);
+  let asan = Runner.make_sanitizer ~heap:tiny_heap Runner.Asan in
+  let abase = Traversal.prepare asan ~size:8192 in
+  let afwd = Traversal.forward asan ~base:abase ~size:8192 in
+  let arev = Traversal.reverse asan ~base:abase ~size:8192 in
+  Alcotest.(check int) "ASan flat forward" 1024 afwd.Traversal.t_shadow_loads;
+  Alcotest.(check int) "ASan flat reverse" 1024 arev.Traversal.t_shadow_loads
+
+let test_traversal_detects_overflow () =
+  (* kernels are honest: scanning one word too far is caught *)
+  let gs = Runner.make_sanitizer ~heap:tiny_heap Runner.Giantsan in
+  let base = Traversal.prepare gs ~size:4096 in
+  let r = Traversal.forward gs ~base ~size:4104 in
+  Alcotest.(check bool) "overflow reported" true (r.Traversal.t_reports > 0)
+
+let suite =
+  ( "workload",
+    [
+      Helpers.qt "generation is deterministic" `Quick test_generation_deterministic;
+      Helpers.qt "24 profiles, metadata complete" `Quick test_profiles_complete;
+      Helpers.qt "workloads run clean under every tool" `Quick
+        test_workloads_are_clean;
+      Helpers.qt "all 24 profiles clean under GiantSan" `Slow
+        test_all_profiles_clean_under_giantsan;
+      Helpers.qt "LFP CE projects are skipped" `Quick test_lfp_skips_ce_projects;
+      Helpers.qt "check/load ordering GiantSan vs ASan" `Quick test_check_ordering;
+      Helpers.qt "simulated overhead ordering" `Quick test_overhead_ordering;
+      Helpers.qt "cost model sanity" `Quick test_cost_model_monotone;
+      Helpers.qt "traversal kernels are clean + honest" `Quick
+        test_traversal_kernels_clean;
+      Helpers.qt "traversal load asymmetry (Fig 11)" `Quick
+        test_traversal_load_asymmetry;
+      Helpers.qt "traversal catches overflow" `Quick test_traversal_detects_overflow;
+    ] )
