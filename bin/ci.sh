@@ -1,0 +1,31 @@
+#!/bin/sh
+# CI gate: build, tests, regression-corpus replay, and a fixed-seed fuzz
+# smoke including a byte-identical determinism check of two runs.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== build =="
+dune build @all
+
+echo "== tests =="
+dune runtest
+
+echo "== regression corpus replay =="
+dune exec bin/main.exe -- replay test/corpus/regressions
+
+echo "== fuzz smoke (2000 runs, seed 42) =="
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+dune exec bin/main.exe -- fuzz --runs 2000 --seed 42 -o "$tmpdir/run1.txt"
+dune exec bin/main.exe -- fuzz --runs 2000 --seed 42 -o "$tmpdir/run2.txt"
+
+echo "== fuzz determinism =="
+if ! cmp -s "$tmpdir/run1.txt" "$tmpdir/run2.txt"; then
+  echo "FAIL: fuzz summaries differ between identical seeded runs" >&2
+  diff "$tmpdir/run1.txt" "$tmpdir/run2.txt" >&2 || true
+  exit 1
+fi
+echo "byte-identical summaries across two seeded runs"
+
+echo "== ci green =="

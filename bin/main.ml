@@ -59,10 +59,11 @@ let extras_cmd =
           run_ids Giantsan_report.Experiments.extra_ids quick out)
       $ quick_flag $ out_file)
 
-let fuzz_cmd =
+let fuzz_matrix_cmd =
   let doc =
-    "Differential fuzzing: random scenarios across every tool, reporting \
-     detection matrices and anomalies."
+    "One-shot differential fuzzing: independent random scenarios across \
+     every tool, reporting detection matrices and anomalies (the \
+     pre-coverage-guided loop; see $(b,fuzz) for the evolutionary one)."
   in
   let seed =
     Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Base seed.")
@@ -72,7 +73,8 @@ let fuzz_cmd =
       value & opt int 100
       & info [ "count" ] ~docv:"N" ~doc:"Scenarios per population.")
   in
-  Cmd.v (Cmd.info "fuzz" ~doc)
+  Cmd.v
+    (Cmd.info "fuzz-matrix" ~doc)
     Term.(
       const (fun seed count out ->
           let body = Giantsan_report.Corpus_tools.fuzz ~seed ~count in
@@ -80,6 +82,104 @@ let fuzz_cmd =
           write_out out body;
           0)
       $ seed $ count $ out_file)
+
+let fuzz_cmd =
+  let doc =
+    "Coverage-guided differential fuzzing: evolve a corpus of scenarios by \
+     mutation, chase new coverage features, and shrink any cross-sanitizer \
+     divergence to a minimal reproducer. Deterministic for a fixed \
+     ($(b,--seed), $(b,--runs)) pair."
+  in
+  let seed =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Rng seed.")
+  in
+  let runs =
+    Arg.(
+      value & opt int 2000
+      & info [ "runs" ] ~docv:"N" ~doc:"Mutation-execution iterations.")
+  in
+  let minimize =
+    Arg.(
+      value & flag
+      & info [ "minimize" ]
+          ~doc:"Shrink findings to minimal reproducers before reporting.")
+  in
+  let inject_misfold =
+    Arg.(
+      value & flag
+      & info [ "inject-misfold" ]
+          ~doc:
+            "Plant a deliberate folding bug (an overstated degree on each \
+             object's last segment) and let the fuzzer find it — the \
+             subsystem's self-test.")
+  in
+  let corpus_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus-dir" ] ~docv:"DIR"
+          ~doc:
+            "Write every (shrunk) finding to $(docv) as a replayable corpus \
+             file.")
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(
+      const (fun seed runs minimize inject_misfold corpus_dir out ->
+          let summary =
+            Giantsan_fuzz.Engine.run
+              { Giantsan_fuzz.Engine.runs; seed; minimize; inject_misfold }
+          in
+          let body = Giantsan_fuzz.Engine.summary_to_string summary in
+          print_string body;
+          write_out out body;
+          (match corpus_dir with
+          | None -> ()
+          | Some dir ->
+            if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+            List.iter
+              (fun f ->
+                Giantsan_fuzz.Corpus.save_file
+                  (Filename.concat dir
+                     (f.Giantsan_fuzz.Engine.f_id ^ ".scn"))
+                  f.Giantsan_fuzz.Engine.f_scenario)
+              summary.Giantsan_fuzz.Engine.s_findings);
+          if summary.Giantsan_fuzz.Engine.s_divergent_runs > 0 then 1 else 0)
+      $ seed $ runs $ minimize $ inject_misfold $ corpus_dir $ out_file)
+
+let replay_cmd =
+  let doc =
+    "Replay a corpus directory: parse every scenario file, run it across \
+     all tools, and fail on any parse error, label drift or divergence."
+  in
+  let dir =
+    Arg.(
+      value
+      & pos 0 string "test/corpus/regressions"
+      & info [] ~docv:"DIR" ~doc:"Corpus directory.")
+  in
+  Cmd.v (Cmd.info "replay" ~doc)
+    Term.(
+      const (fun dir ->
+          if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+            Printf.eprintf "replay: no such corpus directory: %s\n" dir;
+            1
+          end
+          else begin
+            let results = Giantsan_fuzz.Engine.replay ~dir in
+            let bad = ref 0 in
+            List.iter
+              (fun (name, problems) ->
+                match problems with
+                | [] -> Printf.printf "%-40s OK\n" name
+                | ps ->
+                  incr bad;
+                  Printf.printf "%-40s FAIL\n" name;
+                  List.iter (fun p -> Printf.printf "    %s\n" p) ps)
+              results;
+            Printf.printf "%d file(s), %d failing\n" (List.length results) !bad;
+            if !bad > 0 then 1 else 0
+          end)
+      $ dir)
 
 let validate_cmd =
   let doc = "Re-validate the ground-truth labels of every generated corpus." in
@@ -100,7 +200,8 @@ let () =
          Segment Folding' (ASPLOS 2024)"
   in
   let cmds =
-    all_cmd :: extras_cmd :: fuzz_cmd :: validate_cmd
+    all_cmd :: extras_cmd :: fuzz_cmd :: fuzz_matrix_cmd :: replay_cmd
+    :: validate_cmd
     :: List.map
          (fun id -> experiment_cmd id id)
          (Giantsan_report.Experiments.all_ids

@@ -20,15 +20,15 @@ let loop_offsets ~from_ ~to_ ~step =
   in
   go [] from_
 
-let run (san : San.t) t =
+let run_reports (san : San.t) t =
   let slots = Hashtbl.create 4 in
   let base slot =
     match Hashtbl.find_opt slots slot with
     | Some b -> b
     | None -> failwith (t.sc_id ^ ": use of unallocated slot")
   in
-  let detected = ref false in
-  let note = function None -> () | Some _ -> detected := true in
+  let reports = ref [] in
+  let note = function None -> () | Some r -> reports := r :: !reports in
   List.iter
     (fun step ->
       match step with
@@ -53,11 +53,13 @@ let run (san : San.t) t =
       | Access_null { off; width } ->
         note (san.San.access ~base:0 ~addr:off ~width))
     t.sc_steps;
-  !detected
+  List.rev !reports
+
+let run san t = run_reports san t <> []
 
 (* Static ground truth from the step list alone: sizes and lifetimes are
    known by construction. *)
-let validate t =
+let ground_truth t =
   let slots = Hashtbl.create 4 in
   let violation = ref false in
   let oob slot off width =
@@ -89,9 +91,13 @@ let validate t =
         if len > 0 && oob slot off len then violation := true
       | Access_null _ -> violation := true)
     t.sc_steps;
-  if !violation = t.sc_buggy then Ok ()
+  !violation
+
+let validate t =
+  let violation = ground_truth t in
+  if violation = t.sc_buggy then Ok ()
   else
     Error
       (Printf.sprintf "%s: labelled %s but ground truth says %s" t.sc_id
          (if t.sc_buggy then "buggy" else "clean")
-         (if !violation then "buggy" else "clean"))
+         (if violation then "buggy" else "clean"))

@@ -38,6 +38,17 @@ val loop_offsets : from_:int -> to_:int -> step:int -> int list
 val run : Giantsan_sanitizer.Sanitizer.t -> t -> bool
 (** Execute against a (fresh) sanitizer; [true] if any check reported. *)
 
+val run_reports :
+  Giantsan_sanitizer.Sanitizer.t -> t -> Giantsan_sanitizer.Report.t list
+(** Like {!run} but returns every report the checks produced, in execution
+    order. The fuzzer's coverage map keys on the report kinds. *)
+
+val ground_truth : t -> bool
+(** Does the scenario really contain a violation? Computed statically from
+    the step list alone (sizes and lifetimes are known by construction),
+    ignoring the [sc_buggy] label. The fuzzer's referee: mutated scenarios
+    get their truth from here, not from the label they inherited. *)
+
 val validate : t -> (unit, string) result
 (** Sanity-check the ground-truth label against the oracle: running the
     scenario on a Native heap, does some access really leave its intended

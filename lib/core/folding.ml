@@ -6,6 +6,8 @@ let degree_at ~good_segments =
   assert (good_segments >= 1);
   min (Bitops.log2_floor good_segments) State_code.max_degree
 
+let misfold_for_testing = ref false
+
 let poison_good_run m ~first_seg ~count =
   (* Incremental floor-log2: walking j upward, [remaining = count - j]
      decreases by one each step, so the degree drops exactly when
@@ -19,7 +21,15 @@ let poison_good_run m ~first_seg ~count =
       while !remaining < 1 lsl !d do
         decr d
       done;
-      Shadow_mem.set m seg (State_code.folded !d);
+      let degree =
+        (* Seeded bug for the fuzzer's self-test: the last segment of the
+           run claims degree 1 instead of 0, vouching for one segment past
+           the object's end. Overstated folds never cause false positives;
+           they silently shrink the detection window, which is exactly the
+           divergence the differential fuzzer must be able to find. *)
+        if !misfold_for_testing && !remaining = 1 then 1 else !d
+      in
+      Shadow_mem.set m seg (State_code.folded degree);
       decr remaining
     done
   end

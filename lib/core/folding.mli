@@ -19,6 +19,15 @@ val poison_good_run :
 (** Write the folded codes for a run of [count] good segments starting at
     segment index [first_seg]. *)
 
+val misfold_for_testing : bool ref
+(** Debug switch (default [false]): when set, [poison_good_run] deliberately
+    overstates the folding degree of the final segment of every good run —
+    it claims the segment after the object's last full segment is also
+    addressable. This plants a detection gap of up to 8 bytes past the
+    object end without introducing false positives. Exists solely so the
+    differential fuzzer's own tests can prove they would catch a real
+    folding bug; nothing outside those tests may set it. *)
+
 val poison_alloc :
   Giantsan_shadow.Shadow_mem.t -> Giantsan_memsim.Memobj.t -> unit
 (** Shadow for a fresh allocation: left redzone, folded good segments,

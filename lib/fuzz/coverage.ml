@@ -1,0 +1,20 @@
+type t = (string, unit) Hashtbl.t
+
+let create () : t = Hashtbl.create 256
+let size t = Hashtbl.length t
+let mem t f = Hashtbl.mem t f
+
+let add t features =
+  List.fold_left
+    (fun novel f ->
+      if Hashtbl.mem t f then novel
+      else begin
+        Hashtbl.add t f ();
+        novel + 1
+      end)
+    0 features
+
+let bucket n =
+  if n < 0 then -1
+  else if n = 0 then 0
+  else 1 + Giantsan_util.Bitops.log2_floor n

@@ -1,0 +1,28 @@
+(** The fuzzer's coverage map.
+
+    Greybox fuzzing needs a cheap novelty signal: "did this input make the
+    system do something no earlier input did?". There is no compiled-in edge
+    instrumentation here, but the simulation already observes plenty of
+    execution behaviour for free — counter deltas per sanitizer, report
+    kinds produced, region-check fast/slow path mix, folding degrees of the
+    allocations touched. Each such observation is rendered as a short
+    feature string; the map is the set of features ever seen. An input that
+    contributes a new feature is "interesting" and enters the corpus. *)
+
+type t
+
+val create : unit -> t
+val size : t -> int
+(** Number of distinct features observed so far. *)
+
+val mem : t -> string -> bool
+
+val add : t -> string list -> int
+(** [add t features] records every feature and returns how many of them
+    were novel (0 = the input exercised nothing new). *)
+
+val bucket : int -> int
+(** Coarse log2 bucketing for counter deltas, so "37 region checks" and
+    "41 region checks" land in the same feature but 0, 1, ~10 and ~1000 do
+    not: [bucket 0 = 0], [bucket n = 1 + log2_floor n] for [n > 0], and
+    negative values (impossible for counters) collapse to [-1]. *)

@@ -1,0 +1,183 @@
+module Rng = Giantsan_util.Rng
+module Scenario = Giantsan_bugs.Scenario
+module Difftest = Giantsan_bugs.Difftest
+module Folding = Giantsan_core.Folding
+
+type config = {
+  runs : int;
+  seed : int;
+  minimize : bool;
+  inject_misfold : bool;
+}
+
+let default_config =
+  { runs = 2000; seed = 0; minimize = true; inject_misfold = false }
+
+type finding = {
+  f_id : string;
+  f_scenario : Scenario.t;
+  f_original_steps : int;
+  f_divergences : string list;
+}
+
+type summary = {
+  s_config : config;
+  s_executed : int;
+  s_skipped : int;
+  s_corpus : int;
+  s_coverage : int;
+  s_baseline_coverage : int;
+  s_divergent_runs : int;
+  s_findings : finding list;
+}
+
+let max_recorded_findings = 25
+
+let violations =
+  [
+    Difftest.V_overflow; Difftest.V_underflow; Difftest.V_far_jump;
+    Difftest.V_uaf; Difftest.V_double_free; Difftest.V_mid_free;
+  ]
+
+(* The pure-random generator both loops share: what difftest.ml produced
+   before this subsystem existed. *)
+let random_scenario ~seed i =
+  if i mod 2 = 0 then Difftest.gen_clean ~seed:(seed + i)
+  else
+    Difftest.gen_buggy ~seed:(seed + i)
+      (List.nth violations (i / 2 mod List.length violations))
+
+let seed_corpus ~seed =
+  List.init 8 (fun i -> Difftest.gen_clean ~seed:(seed + i))
+  @ List.map (fun v -> Difftest.gen_buggy ~seed v) violations
+
+let run config =
+  let saved_misfold = !Folding.misfold_for_testing in
+  Folding.misfold_for_testing := config.inject_misfold;
+  Fun.protect
+    ~finally:(fun () -> Folding.misfold_for_testing := saved_misfold)
+    (fun () ->
+      let rng = Rng.create config.seed in
+      let coverage = Coverage.create () in
+      let corpus = ref [||] in
+      let push sc = corpus := Array.append !corpus [| sc |] in
+      let executed = ref 0 and skipped = ref 0 and divergent = ref 0 in
+      let findings = ref [] and signatures = Hashtbl.create 8 in
+      let record sc divs =
+        incr divergent;
+        let names =
+          List.sort_uniq compare (List.map Exec.divergence_name divs)
+        in
+        let signature = String.concat "," names in
+        if
+          (not (Hashtbl.mem signatures signature))
+          && List.length !findings < max_recorded_findings
+        then begin
+          Hashtbl.add signatures signature ();
+          let original_steps = List.length sc.Scenario.sc_steps in
+          let shrunk =
+            if config.minimize then Shrink.shrink ~interesting:Exec.diverges sc
+            else sc
+          in
+          let id = Printf.sprintf "finding_%d" (List.length !findings) in
+          findings :=
+            {
+              f_id = id;
+              f_scenario = { shrunk with Scenario.sc_id = id };
+              f_original_steps = original_steps;
+              f_divergences = names;
+            }
+            :: !findings
+        end
+      in
+      let execute sc =
+        match Exec.run sc with
+        | Error _ -> incr skipped
+        | Ok outcome ->
+          incr executed;
+          let novel = Coverage.add coverage outcome.Exec.features in
+          if novel > 0 then push sc;
+          if outcome.Exec.divergences <> [] then
+            record sc outcome.Exec.divergences
+      in
+      (* seed the corpus, then evolve it *)
+      List.iter
+        (fun sc -> execute (Mutate.repair sc))
+        (seed_corpus ~seed:config.seed);
+      if Array.length !corpus = 0 then
+        (* degenerate but possible under an injected bug: keep a fallback
+           parent so mutation always has something to work on *)
+        push (Mutate.repair (Difftest.gen_clean ~seed:config.seed));
+      for i = 1 to config.runs do
+        let parent = !corpus.(Rng.int rng (Array.length !corpus)) in
+        let child = Mutate.mutate rng ~pool:!corpus parent in
+        let child =
+          { child with Scenario.sc_id = Printf.sprintf "mut_%d" i }
+        in
+        execute child
+      done;
+      let total_budget = !executed + !skipped in
+      (* control arm: the same execution budget spent on independent random
+         scenarios, no mutation, no guidance *)
+      let baseline = Coverage.create () in
+      for i = 0 to total_budget - 1 do
+        match Exec.run (random_scenario ~seed:config.seed i) with
+        | Ok outcome -> ignore (Coverage.add baseline outcome.Exec.features)
+        | Error _ -> ()
+      done;
+      {
+        s_config = config;
+        s_executed = !executed;
+        s_skipped = !skipped;
+        s_corpus = Array.length !corpus;
+        s_coverage = Coverage.size coverage;
+        s_baseline_coverage = Coverage.size baseline;
+        s_divergent_runs = !divergent;
+        s_findings = List.rev !findings;
+      })
+
+let summary_to_string s =
+  let buf = Buffer.create 1024 in
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  p "coverage-guided differential fuzz\n";
+  p "  seed=%d runs=%d minimize=%b inject-misfold=%b\n" s.s_config.seed
+    s.s_config.runs s.s_config.minimize s.s_config.inject_misfold;
+  p "  executed %d scenarios (%d non-executable mutants skipped)\n"
+    s.s_executed s.s_skipped;
+  p "  corpus entries: %d\n" s.s_corpus;
+  p "  coverage features: guided=%d pure-random-baseline=%d (%+d)\n"
+    s.s_coverage s.s_baseline_coverage
+    (s.s_coverage - s.s_baseline_coverage);
+  p "  divergent runs: %d\n" s.s_divergent_runs;
+  (match s.s_findings with
+  | [] -> p "  findings: none — all cross-sanitizer invariants held\n"
+  | fs ->
+    p "  findings (deduplicated by divergence signature):\n";
+    List.iter
+      (fun f ->
+        p "    %s: %s (%d steps, shrunk from %d)\n" f.f_id
+          (String.concat ", " f.f_divergences)
+          (List.length f.f_scenario.Scenario.sc_steps)
+          f.f_original_steps;
+        List.iter
+          (fun line -> if line <> "" then p "      | %s\n" line)
+          (String.split_on_char '\n' (Corpus.to_string f.f_scenario)))
+      fs);
+  Buffer.contents buf
+
+let replay ~dir =
+  List.map
+    (fun (name, parsed) ->
+      match parsed with
+      | Error e -> (name, [ "parse: " ^ e ])
+      | Ok sc -> (
+        match Exec.run sc with
+        | Error e -> (name, [ "execution: " ^ e ])
+        | Ok outcome ->
+          let problems =
+            List.map
+              (fun d -> "divergence: " ^ Exec.divergence_name d)
+              outcome.Exec.divergences
+          in
+          (name, problems)))
+    (Corpus.load_dir dir)

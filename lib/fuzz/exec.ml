@@ -1,0 +1,125 @@
+module Scenario = Giantsan_bugs.Scenario
+module Harness = Giantsan_bugs.Harness
+module San = Giantsan_sanitizer.Sanitizer
+module Counters = Giantsan_sanitizer.Counters
+module Report = Giantsan_sanitizer.Report
+module Folding = Giantsan_core.Folding
+module Memobj = Giantsan_memsim.Memobj
+
+type divergence =
+  | False_positive of Harness.tool
+  | Dominance_violation
+  | Family_split
+
+let divergence_name = function
+  | False_positive tool -> "false-positive:" ^ Harness.tool_name tool
+  | Dominance_violation -> "dominance-violation"
+  | Family_split -> "family-split"
+
+type outcome = {
+  truth : bool;
+  verdicts : (Harness.tool * bool) list;
+  divergences : divergence list;
+  features : string list;
+}
+
+let tool_tag = function
+  | Harness.Giantsan -> "GS"
+  | Harness.Asan -> "AS"
+  | Harness.Asanmm -> "AM"
+  | Harness.Lfp -> "LF"
+
+(* The counters whose magnitude says something about which paths a run
+   exercised. [errors] is deliberately absent: report kinds cover it with
+   more precision. *)
+let feature_counters (c : Counters.t) =
+  [
+    ("ic", c.Counters.instr_checks);
+    ("rc", c.Counters.region_checks);
+    ("fc", c.Counters.fast_checks);
+    ("sc", c.Counters.slow_checks);
+    ("ch", c.Counters.cache_hits);
+    ("cu", c.Counters.cache_updates);
+    ("uc", c.Counters.underflow_checks);
+    ("bc", c.Counters.bounds_checks);
+    ("ps", c.Counters.poison_segments);
+  ]
+
+let run_tool tool scenario =
+  let san = Harness.make_sanitizer tool in
+  let reports = Scenario.run_reports san scenario in
+  let tag = tool_tag tool in
+  let kind_features =
+    List.sort_uniq compare
+      (List.map (fun r -> "r:" ^ tag ^ ":" ^ Report.kind_name r.Report.kind) reports)
+  in
+  let counter_features =
+    List.filter_map
+      (fun (name, v) ->
+        if v = 0 then None
+        else
+          Some (Printf.sprintf "c:%s:%s:%d" tag name (Coverage.bucket v)))
+      (feature_counters san.San.counters)
+  in
+  let path_feature =
+    (* which region-check paths this run took: fast only, slow only, a mix,
+       or none at all *)
+    let c = san.San.counters in
+    Printf.sprintf "p:%s:%c%c" tag
+      (if c.Counters.fast_checks > 0 then 'f' else '-')
+      (if c.Counters.slow_checks > 0 then 's' else '-')
+  in
+  (reports <> [], kind_features @ counter_features @ [ path_feature ])
+
+(* Folding degrees the scenario's allocations put into the shadow: cheap to
+   recompute from the sizes, and exactly the encoding surface a mutated
+   size explores. *)
+let degree_features scenario =
+  List.sort_uniq compare
+    (List.filter_map
+       (function
+         | Scenario.Alloc { size; _ } when size >= 8 ->
+           Some
+             (Printf.sprintf "d:%d"
+                (Folding.degree_at ~good_segments:(size / 8)))
+         | _ -> None)
+       scenario.Scenario.sc_steps)
+
+let run scenario =
+  match
+    let truth = Scenario.ground_truth scenario in
+    let results =
+      List.map (fun tool -> (tool, run_tool tool scenario)) Harness.all_tools
+    in
+    let verdicts = List.map (fun (tool, (v, _)) -> (tool, v)) results in
+    let verdict tool = List.assoc tool verdicts in
+    let divergences =
+      List.filter_map
+        (fun (tool, v) ->
+          if v && not truth then Some (False_positive tool) else None)
+        verdicts
+      @ (if verdict Harness.Asan && not (verdict Harness.Giantsan) then
+           [ Dominance_violation ]
+         else [])
+      @
+      if verdict Harness.Asan <> verdict Harness.Asanmm then [ Family_split ]
+      else []
+    in
+    let features =
+      Printf.sprintf "t:%b" truth
+      :: Printf.sprintf "v:%s"
+           (String.concat ""
+              (List.map (fun (_, v) -> if v then "1" else "0") verdicts))
+      :: degree_features scenario
+      @ List.concat_map (fun (_, (_, fs)) -> fs) results
+    in
+    { truth; verdicts; divergences; features }
+  with
+  | outcome -> Ok outcome
+  | exception Failure msg -> Error msg
+  | exception Out_of_memory -> Error "arena exhausted"
+
+let diverges scenario =
+  match run scenario with
+  | Ok { divergences; _ } -> divergences <> []
+  | Error _ -> false

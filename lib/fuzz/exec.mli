@@ -1,0 +1,33 @@
+(** Differential execution of one scenario across the tool matrix.
+
+    Runs the scenario on a fresh sanitizer per tool, compares every verdict
+    against the static ground truth ({!Giantsan_bugs.Scenario.ground_truth})
+    and against the paper's cross-tool relations, and distils the run into
+    coverage features for the greybox loop. *)
+
+type divergence =
+  | False_positive of Giantsan_bugs.Harness.tool
+      (** ground truth says clean, the tool reported (Table 3's
+          "no false-positive issues" claim, for every tool) *)
+  | Dominance_violation
+      (** ASan detected, GiantSan stayed silent — anchored operation-level
+          checking must dominate instruction-level checking *)
+  | Family_split
+      (** ASan and ASan-- disagree; they share one runtime and may never *)
+
+val divergence_name : divergence -> string
+
+type outcome = {
+  truth : bool;  (** static ground truth for this exact step list *)
+  verdicts : (Giantsan_bugs.Harness.tool * bool) list;
+  divergences : divergence list;  (** empty = all invariants held *)
+  features : string list;  (** coverage features observed during the run *)
+}
+
+val run : Giantsan_bugs.Scenario.t -> (outcome, string) result
+(** [Error _] when the scenario is not executable (unallocated-slot use or
+    arena exhaustion); such inputs are skipped, not treated as findings. *)
+
+val diverges : Giantsan_bugs.Scenario.t -> bool
+(** Does the scenario currently produce at least one divergence? (The
+    shrinker's "still interesting" predicate.) *)

@@ -1,0 +1,297 @@
+module Rng = Giantsan_util.Rng
+module Scenario = Giantsan_bugs.Scenario
+module Memobj = Giantsan_memsim.Memobj
+
+let max_steps = 96
+let max_alloc = 1024
+let alloc_budget = 20_000
+let max_offset = 4096
+let max_trips = 512
+
+let clamp lo hi v = max lo (min hi v)
+
+(* --- repair ------------------------------------------------------------ *)
+
+let repair (t : Scenario.t) =
+  let allocated = Hashtbl.create 8 in
+  let budget = ref 0 in
+  let kept = ref 0 in
+  let steps =
+    List.filter_map
+      (fun step ->
+        if !kept >= max_steps then None
+        else
+          let keep s =
+            incr kept;
+            Some s
+          in
+          let known slot = Hashtbl.mem allocated slot in
+          match step with
+          | Scenario.Alloc { slot; size; kind } ->
+            let size = clamp 0 max_alloc size in
+            if !budget + size > alloc_budget then None
+            else begin
+              budget := !budget + size;
+              Hashtbl.replace allocated slot ();
+              keep (Scenario.Alloc { slot; size; kind })
+            end
+          | Scenario.Free_slot slot ->
+            if known slot then keep step else None
+          | Scenario.Free_at { slot; delta } ->
+            if known slot then
+              keep (Scenario.Free_at { slot; delta = clamp (-64) 64 delta })
+            else None
+          | Scenario.Access { slot; off; width } ->
+            if known slot then
+              keep
+                (Scenario.Access
+                   {
+                     slot;
+                     off = clamp (-max_offset) max_offset off;
+                     width = clamp 1 8 width;
+                   })
+            else None
+          | Scenario.Access_loop { slot; from_; to_; step; width } ->
+            if not (known slot) then None
+            else
+              let step = if step = 0 then 1 else clamp (-64) 64 step in
+              let from_ = clamp (-max_offset) max_offset from_ in
+              let to_ = clamp (-max_offset) max_offset to_ in
+              (* bound the trip count by pulling [to_] toward [from_] *)
+              let to_ =
+                if step > 0 then min to_ (from_ + (step * max_trips))
+                else max to_ (from_ + (step * max_trips))
+              in
+              keep
+                (Scenario.Access_loop
+                   { slot; from_; to_; step; width = clamp 1 8 width })
+          | Scenario.Region { slot; off; len } ->
+            if known slot then
+              keep
+                (Scenario.Region
+                   {
+                     slot;
+                     off = clamp (-max_offset) max_offset off;
+                     len = clamp 0 max_offset len;
+                   })
+            else None
+          | Scenario.Access_null { off; width } ->
+            keep
+              (Scenario.Access_null
+                 { off = clamp 0 max_offset off; width = clamp 1 8 width }))
+      t.Scenario.sc_steps
+  in
+  let t = { t with Scenario.sc_steps = steps } in
+  { t with Scenario.sc_buggy = Scenario.ground_truth t }
+
+(* --- slot bookkeeping for targeted mutations --------------------------- *)
+
+(* sizes of slots as allocated (last Alloc wins, in step order) *)
+let slot_sizes steps =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (function
+      | Scenario.Alloc { slot; size; _ } -> Hashtbl.replace tbl slot size
+      | _ -> ())
+    steps;
+  tbl
+
+let slots_of steps =
+  let tbl = slot_sizes steps in
+  Hashtbl.fold (fun slot size acc -> (slot, size) :: acc) tbl []
+  |> List.sort compare
+
+let to_array steps = Array.of_list steps
+
+(* --- individual operators ---------------------------------------------- *)
+
+let truncate rng steps =
+  match steps with
+  | [] -> []
+  | _ ->
+    let arr = to_array steps in
+    let n = Array.length arr in
+    if Rng.bool rng then
+      (* drop a random suffix *)
+      Array.to_list (Array.sub arr 0 (Rng.int_in rng 1 n))
+    else
+      (* drop one random step *)
+      let k = Rng.int rng n in
+      List.filteri (fun i _ -> i <> k) steps
+
+let splice rng ~(partner : Scenario.t) steps =
+  let a = to_array steps in
+  let b = to_array partner.Scenario.sc_steps in
+  if Array.length a = 0 || Array.length b = 0 then steps
+  else
+    let i = Rng.int rng (Array.length a) in
+    let j = Rng.int rng (Array.length b) in
+    Array.to_list (Array.sub a 0 (i + 1))
+    @ Array.to_list (Array.sub b j (Array.length b - j))
+
+let nudge_amount rng =
+  let deltas = [| -8; -1; 1; 8 |] in
+  if Rng.int rng 4 = 0 then Rng.int_in rng (-64) 64 else Rng.pick rng deltas
+
+let offset_nudge rng steps =
+  let arr = to_array steps in
+  let idxs =
+    List.filteri
+      (fun _ i ->
+        match arr.(i) with
+        | Scenario.Access _ | Scenario.Access_loop _ | Scenario.Region _
+        | Scenario.Access_null _ | Scenario.Free_at _ -> true
+        | _ -> false)
+      (List.init (Array.length arr) Fun.id)
+  in
+  match idxs with
+  | [] -> steps
+  | _ ->
+    let k = List.nth idxs (Rng.int rng (List.length idxs)) in
+    let d = nudge_amount rng in
+    arr.(k) <-
+      (match arr.(k) with
+      | Scenario.Access a -> Scenario.Access { a with off = a.off + d }
+      | Scenario.Access_loop l ->
+        if Rng.bool rng then Scenario.Access_loop { l with to_ = l.to_ + d }
+        else Scenario.Access_loop { l with from_ = l.from_ + d }
+      | Scenario.Region r ->
+        if Rng.bool rng then Scenario.Region { r with len = r.len + abs d }
+        else Scenario.Region { r with off = r.off + d }
+      | Scenario.Access_null a ->
+        Scenario.Access_null { a with off = a.off + abs d }
+      | Scenario.Free_at f -> Scenario.Free_at { f with delta = f.delta + d }
+      | s -> s);
+    Array.to_list arr
+
+let size_nudge rng steps =
+  let arr = to_array steps in
+  let idxs =
+    List.filteri
+      (fun _ i -> match arr.(i) with Scenario.Alloc _ -> true | _ -> false)
+      (List.init (Array.length arr) Fun.id)
+  in
+  match idxs with
+  | [] -> steps
+  | _ ->
+    let k = List.nth idxs (Rng.int rng (List.length idxs)) in
+    (match arr.(k) with
+    | Scenario.Alloc a ->
+      arr.(k) <- Scenario.Alloc { a with size = max 0 (a.size + nudge_amount rng) }
+    | _ -> ());
+    Array.to_list arr
+
+(* Convert an operation into a sibling shape covering the same bytes, so the
+   same (possibly violating) range is probed through a different check path:
+   anchored access <-> region <-> cached loop, plain free <-> interior free. *)
+let op_flip rng steps =
+  let arr = to_array steps in
+  if Array.length arr = 0 then steps
+  else begin
+    let k = Rng.int rng (Array.length arr) in
+    arr.(k) <-
+      (match arr.(k) with
+      | Scenario.Access { slot; off; width } -> (
+        match Rng.int rng 2 with
+        | 0 -> Scenario.Region { slot; off; len = width }
+        | _ ->
+          Scenario.Access_loop
+            { slot; from_ = off; to_ = off + width; step = 1; width = 1 })
+      | Scenario.Region { slot; off; len } ->
+        if Rng.bool rng && len > 0 then
+          Scenario.Access_loop
+            { slot; from_ = off; to_ = off + len; step = 1; width = 1 }
+        else Scenario.Access { slot; off; width = min 8 (max 1 len) }
+      | Scenario.Access_loop { slot; from_; to_; step; width } ->
+        if Rng.bool rng then
+          Scenario.Access_loop
+            { slot; from_ = to_ - step; to_ = from_ - step; step = -step; width }
+        else Scenario.Access { slot; off = from_; width }
+      | Scenario.Free_slot slot ->
+        Scenario.Free_at { slot; delta = 8 * Rng.int_in rng (-2) 2 }
+      | Scenario.Free_at { slot; _ } -> Scenario.Free_slot slot
+      | s -> s);
+    Array.to_list arr
+  end
+
+(* Append one deliberate violation on a known slot (the difftest seeding
+   tails, but applied to an arbitrary evolved scenario). *)
+let seed_violation rng steps =
+  match slots_of steps with
+  | [] -> steps
+  | slots ->
+    let slot, size = List.nth slots (Rng.int rng (List.length slots)) in
+    let tail =
+      match Rng.int rng 6 with
+      | 0 -> [ Scenario.Access { slot; off = size + Rng.int rng 8; width = 1 } ]
+      | 1 ->
+        [ Scenario.Access { slot; off = -(1 + Rng.int rng 12); width = 1 } ]
+      | 2 ->
+        [
+          Scenario.Free_slot slot;
+          Scenario.Access { slot; off = Rng.int rng (max 1 size); width = 1 };
+        ]
+      | 3 -> [ Scenario.Free_slot slot; Scenario.Free_slot slot ]
+      | 4 -> [ Scenario.Free_at { slot; delta = 8 } ]
+      | _ ->
+        [
+          Scenario.Region
+            { slot; off = Rng.int rng (max 1 size); len = size + 8 };
+        ]
+    in
+    steps @ tail
+
+(* The inverse: pull every out-of-bounds offset back inside its object, so a
+   buggy lineage can fall back to a clean-but-structurally-rich ancestor. *)
+let unseed_violation _rng steps =
+  let sizes = slot_sizes steps in
+  let size_of slot = Option.value ~default:0 (Hashtbl.find_opt sizes slot) in
+  List.map
+    (fun step ->
+      match step with
+      | Scenario.Access { slot; off; width } ->
+        let size = size_of slot in
+        if off < 0 || off + width > size then
+          let width = min width (max 1 size) in
+          Scenario.Access
+            { slot; off = max 0 (min off (size - width)); width }
+        else step
+      | Scenario.Region { slot; off; len } ->
+        let size = size_of slot in
+        if off < 0 || off + len > size then
+          Scenario.Region { slot; off = 0; len = max 0 (min len size) }
+        else step
+      | Scenario.Free_at { slot; _ } -> Scenario.Free_slot slot
+      | s -> s)
+    steps
+
+(* --- the driver --------------------------------------------------------- *)
+
+let operators =
+  [
+    (3, `Offset_nudge);
+    (2, `Seed_violation);
+    (2, `Splice);
+    (2, `Truncate);
+    (2, `Op_flip);
+    (1, `Size_nudge);
+    (1, `Unseed);
+  ]
+
+let mutate rng ~pool (t : Scenario.t) =
+  let rounds = 1 + Rng.int rng 3 in
+  let steps = ref t.Scenario.sc_steps in
+  for _ = 1 to rounds do
+    steps :=
+      (match Rng.weighted rng operators with
+      | `Truncate -> truncate rng !steps
+      | `Splice ->
+        let partner = pool.(Rng.int rng (Array.length pool)) in
+        splice rng ~partner !steps
+      | `Offset_nudge -> offset_nudge rng !steps
+      | `Size_nudge -> size_nudge rng !steps
+      | `Op_flip -> op_flip rng !steps
+      | `Seed_violation -> seed_violation rng !steps
+      | `Unseed -> unseed_violation rng !steps)
+  done;
+  repair { t with Scenario.sc_steps = !steps }

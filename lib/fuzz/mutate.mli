@@ -1,0 +1,25 @@
+(** Mutation engine over scenarios.
+
+    Mutations are intentionally allowed to break memory safety — that is the
+    point — but never well-formedness: every produced scenario goes through
+    {!repair}, so it executes without unallocated-slot failures, keeps the
+    arena within budget, and carries a ground-truth-consistent [sc_buggy]
+    label. *)
+
+val max_steps : int
+(** Hard cap on scenario length after repair. *)
+
+val repair : Giantsan_bugs.Scenario.t -> Giantsan_bugs.Scenario.t
+(** Make a step list executable: drop operations on never-allocated slots,
+    clamp sizes/offsets/loop trip counts to the harness arena's scale, cap
+    the length, and relabel [sc_buggy] from {!Giantsan_bugs.Scenario.ground_truth}. *)
+
+val mutate :
+  Giantsan_util.Rng.t ->
+  pool:Giantsan_bugs.Scenario.t array ->
+  Giantsan_bugs.Scenario.t ->
+  Giantsan_bugs.Scenario.t
+(** One mutation round: apply 1–3 weighted operators (splice with a pool
+    member, truncate, offset-nudge, size-nudge, op-flip, violation-seed,
+    violation-unseed) and repair the result. [pool] must be non-empty; it
+    supplies splice partners. *)

@@ -1,0 +1,138 @@
+module Scenario = Giantsan_bugs.Scenario
+
+let with_steps t steps = Mutate.repair { t with Scenario.sc_steps = steps }
+
+(* Try removing [len] consecutive steps starting at every position, first
+   position that stays interesting wins. *)
+let try_remove_chunk ~interesting t len =
+  let arr = Array.of_list t.Scenario.sc_steps in
+  let n = Array.length arr in
+  if len <= 0 || len > n then None
+  else
+    let rec at i =
+      if i + len > n then None
+      else
+        let steps =
+          Array.to_list (Array.sub arr 0 i)
+          @ Array.to_list (Array.sub arr (i + len) (n - i - len))
+        in
+        let cand = with_steps t steps in
+        if
+          List.length cand.Scenario.sc_steps < n && interesting cand
+        then Some cand
+        else at (i + 1)
+    in
+    at 0
+
+let remove_steps ~interesting t =
+  let rec outer t =
+    let n = List.length t.Scenario.sc_steps in
+    let rec lens len =
+      if len < 1 then None
+      else
+        match try_remove_chunk ~interesting t len with
+        | Some t' -> Some t'
+        | None -> lens (len / 2)
+    in
+    match lens (n / 2) with
+    | Some t' -> outer t'
+    | None -> (
+      match try_remove_chunk ~interesting t 1 with
+      | Some t' -> outer t'
+      | None -> t)
+  in
+  outer t
+
+(* Candidate simpler values for one step, most aggressive first. *)
+let step_candidates sizes step =
+  let size_of slot =
+    Option.value ~default:0 (Hashtbl.find_opt sizes slot)
+  in
+  match step with
+  | Scenario.Alloc a ->
+    List.filter_map
+      (fun s -> if s < a.size then Some (Scenario.Alloc { a with size = s }) else None)
+      [ 8; 16; 32; a.size / 2; a.size - 8; a.size - 1 ]
+  | Scenario.Access a ->
+    let size = size_of a.slot in
+    List.filter_map
+      (fun (off, width) ->
+        if (off, width) <> (a.off, a.width) then
+          Some (Scenario.Access { a with off; width })
+        else None)
+      [
+        (* the canonical one-past-the-end probe, then milder variants *)
+        (size, 1);
+        (0, 1);
+        (a.off / 2, a.width);
+        (a.off, 1);
+        ((if a.off > size then size + ((a.off - size) / 2) else a.off), a.width);
+      ]
+  | Scenario.Access_loop l ->
+    [
+      Scenario.Access { slot = l.slot; off = l.from_; width = l.width };
+      Scenario.Access
+        { slot = l.slot; off = l.to_ - l.step; width = l.width };
+      Scenario.Access_loop
+        { l with from_ = l.to_ - (2 * l.step) };
+    ]
+  | Scenario.Region r ->
+    List.filter_map
+      (fun (off, len) ->
+        if (off, len) <> (r.off, r.len) then
+          Some (Scenario.Region { r with off; len })
+        else None)
+      [ (r.off, 1); (r.off + r.len - 1, 1); (r.off, r.len / 2) ]
+  | Scenario.Access_null a ->
+    if a.off > 0 || a.width > 1 then
+      [ Scenario.Access_null { off = 0; width = 1 } ]
+    else []
+  | Scenario.Free_at f ->
+    if f.delta <> 8 then [ Scenario.Free_at { f with delta = 8 } ] else []
+  | Scenario.Free_slot _ -> []
+
+let simplify_values ~interesting t =
+  let rec pass t budget =
+    if budget <= 0 then t
+    else begin
+      let sizes = Hashtbl.create 8 in
+      List.iter
+        (function
+          | Scenario.Alloc { slot; size; _ } -> Hashtbl.replace sizes slot size
+          | _ -> ())
+        t.Scenario.sc_steps;
+      let arr = Array.of_list t.Scenario.sc_steps in
+      let improved = ref None in
+      (try
+         Array.iteri
+           (fun i step ->
+             List.iter
+               (fun cand_step ->
+                 let steps =
+                   List.mapi
+                     (fun j s -> if j = i then cand_step else s)
+                     (Array.to_list arr)
+                 in
+                 let cand = with_steps t steps in
+                 if cand <> t && interesting cand then begin
+                   improved := Some cand;
+                   raise Exit
+                 end)
+               (step_candidates sizes step))
+           arr
+       with Exit -> ());
+      match !improved with
+      | Some t' -> pass t' (budget - 1)
+      | None -> t
+    end
+  in
+  pass t 64
+
+let shrink ~interesting t =
+  if not (interesting t) then t
+  else begin
+    let t = remove_steps ~interesting t in
+    let t = simplify_values ~interesting t in
+    (* value simplification can unlock further removals *)
+    remove_steps ~interesting t
+  end

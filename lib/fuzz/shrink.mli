@@ -1,0 +1,17 @@
+(** Greedy scenario minimization.
+
+    Given a scenario satisfying some predicate (in practice: "the
+    cross-sanitizer verdicts still diverge"), find a smaller one that still
+    satisfies it. Delta-debugging over the step list (chunk removal, halving
+    first) followed by per-step value shrinking (offsets toward the object
+    boundary, sizes and widths toward small canon values, loops toward
+    single accesses). Every candidate is repaired before the predicate runs,
+    so shrinking can never manufacture a malformed scenario. *)
+
+val shrink :
+  interesting:(Giantsan_bugs.Scenario.t -> bool) ->
+  Giantsan_bugs.Scenario.t ->
+  Giantsan_bugs.Scenario.t
+(** Deterministic greedy fixpoint. The result satisfies [interesting]
+    whenever the input does; if the input does not, it is returned
+    unchanged. *)

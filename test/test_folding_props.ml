@@ -1,0 +1,136 @@
+(* Folding.upper_bound / lower_bound against a brute-force linear shadow
+   scan, over randomly populated heaps, plus the logarithmic shadow-load
+   bounds the .mli contracts promise (the O(1)-loads-per-region-check story
+   of Algorithm 1 rests on these). *)
+
+module Memsim = Giantsan_memsim
+module San = Giantsan_sanitizer.Sanitizer
+module Shadow_mem = Giantsan_shadow.Shadow_mem
+module SC = Giantsan_core.State_code
+module Folding = Giantsan_core.Folding
+module Rng = Giantsan_util.Rng
+module Bitops = Giantsan_util.Bitops
+
+(* A GiantSan heap with random live and freed objects, shadow exposed. *)
+let random_scene seed =
+  let rng = Rng.create (seed + 4242) in
+  let san, m = Giantsan_core.Gs_runtime.create_exposed Helpers.small_config in
+  let n_objects = Rng.int_in rng 3 12 in
+  for _ = 1 to n_objects do
+    let size = Rng.int_in rng 0 600 in
+    let obj = san.San.malloc size in
+    if Rng.int rng 4 = 0 then ignore (san.San.free obj.Memsim.Memobj.base)
+  done;
+  (san, m, rng)
+
+(* Brute force: walk the shadow one segment at a time, treating every
+   folded code as "this one segment is good" and ignoring the fold's
+   claim about its successors. Agreement with [upper_bound] is exactly the
+   encoding's soundness: a degree-d fold may only exist where d successive
+   segments really are good. *)
+let linear_upper m ~addr =
+  let segments = Shadow_mem.segments m in
+  let rec scan seg =
+    if seg >= segments then seg * 8
+    else
+      let v = Shadow_mem.peek m seg in
+      if SC.is_folded v then scan (seg + 1)
+      else (seg * 8) + SC.addressable_in_segment v
+  in
+  max addr (scan (addr / 8))
+
+(* Brute force for the reverse direction: the start of the maximal run of
+   fully-addressable segments ending just before [addr]'s segment. *)
+let linear_lower m ~addr =
+  let rec down seg =
+    if seg < 0 then 0
+    else
+      let v = Shadow_mem.peek m seg in
+      if SC.is_folded v then down (seg - 1) else (seg + 1) * 8
+  in
+  down ((addr / 8) - 1)
+
+let probe_addr rng m =
+  (* probe everywhere: object interiors, redzones, freed blocks, the tail *)
+  Rng.int rng (8 * Shadow_mem.segments m)
+
+let test_upper_bound_matches_brute_force =
+  Helpers.q "upper_bound = linear shadow scan" QCheck.small_int (fun seed ->
+      let _, m, rng = random_scene seed in
+      let ok = ref true in
+      for _ = 1 to 32 do
+        let addr = probe_addr rng m in
+        ok :=
+          !ok && Folding.upper_bound m ~addr = linear_upper m ~addr
+      done;
+      !ok)
+
+let test_upper_bound_load_bound =
+  Helpers.q "upper_bound loads O(log n) shadow bytes" QCheck.small_int
+    (fun seed ->
+      let _, m, rng = random_scene seed in
+      let budget = Bitops.log2_ceil (Shadow_mem.segments m) + 3 in
+      let ok = ref true in
+      for _ = 1 to 32 do
+        let addr = probe_addr rng m in
+        Shadow_mem.reset_counters m;
+        ignore (Folding.upper_bound m ~addr);
+        ok := !ok && Shadow_mem.loads m <= budget
+      done;
+      !ok)
+
+let test_lower_bound_matches_brute_force =
+  Helpers.q "lower_bound = linear shadow scan" QCheck.small_int (fun seed ->
+      let _, m, rng = random_scene seed in
+      let ok = ref true in
+      for _ = 1 to 32 do
+        let addr = probe_addr rng m in
+        ok := !ok && Folding.lower_bound m ~addr = linear_lower m ~addr
+      done;
+      !ok)
+
+let test_lower_bound_load_bound =
+  Helpers.q "lower_bound loads O(log^2 n) shadow bytes" QCheck.small_int
+    (fun seed ->
+      let _, m, rng = random_scene seed in
+      let log_n = Bitops.log2_ceil (Shadow_mem.segments m) in
+      let budget = (log_n + 2) * (log_n + 2) in
+      let ok = ref true in
+      for _ = 1 to 32 do
+        let addr = probe_addr rng m in
+        Shadow_mem.reset_counters m;
+        ignore (Folding.lower_bound m ~addr);
+        ok := !ok && Shadow_mem.loads m <= budget
+      done;
+      !ok)
+
+(* The bounds bracket the truth: everything in [lower, align8 addr) and in
+   [addr, upper) really is addressable per the byte-level oracle. *)
+let test_bounds_sound_against_oracle =
+  Helpers.q "bounds only ever claim addressable bytes" QCheck.small_int
+    (fun seed ->
+      let san, m, rng = random_scene seed in
+      let oracle = Memsim.Heap.oracle san.San.heap in
+      let arena = 8 * Shadow_mem.segments m in
+      let ok = ref true in
+      for _ = 1 to 32 do
+        let addr = probe_addr rng m in
+        let u = min (Folding.upper_bound m ~addr) arena in
+        let l = Folding.lower_bound m ~addr in
+        if u > addr then
+          ok := !ok && Memsim.Oracle.range_addressable oracle ~lo:addr ~hi:u;
+        let hi = Bitops.align_down 8 addr in
+        if hi > l then
+          ok := !ok && Memsim.Oracle.range_addressable oracle ~lo:l ~hi
+      done;
+      !ok)
+
+let suite =
+  ( "folding-props",
+    [
+      test_upper_bound_matches_brute_force;
+      test_upper_bound_load_bound;
+      test_lower_bound_matches_brute_force;
+      test_lower_bound_load_bound;
+      test_bounds_sound_against_oracle;
+    ] )

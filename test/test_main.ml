@@ -21,4 +21,7 @@ let () =
       Test_stress.suite;
       Test_progfuzz.suite;
       Test_coverage.suite;
+      Test_counters.suite;
+      Test_folding_props.suite;
+      Test_fuzz.suite;
     ]

@@ -77,6 +77,51 @@ let test_rng_shuffle () =
   Array.sort compare sorted;
   Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
 
+let test_rng_weighted_edges () =
+  let rng = Rng.create 23 in
+  (* zero-weight entries surrounding the only live one are never picked *)
+  for _ = 1 to 500 do
+    Alcotest.(check string) "single live entry" "only"
+      (Rng.weighted rng [ (0, "a"); (5, "only"); (0, "b") ])
+  done;
+  (* a zero-weight head must not absorb the roll for the first live entry *)
+  for _ = 1 to 500 do
+    Alcotest.(check string) "zero-weight head skipped" "live"
+      (Rng.weighted rng [ (0, "dead"); (1, "live") ])
+  done
+
+let test_rng_int_in_degenerate () =
+  let rng = Rng.create 29 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "lo = hi" 7 (Rng.int_in rng 7 7);
+    Alcotest.(check int) "negative point range" (-3) (Rng.int_in rng (-3) (-3))
+  done;
+  Alcotest.(check int) "bound 1" 0 (Rng.int rng 1)
+
+let test_rng_shuffle_tiny () =
+  let rng = Rng.create 31 in
+  let empty : int array = [||] in
+  Rng.shuffle rng empty;
+  Alcotest.(check (array int)) "empty untouched" [||] empty;
+  let one = [| 42 |] in
+  Rng.shuffle rng one;
+  Alcotest.(check (array int)) "singleton untouched" [| 42 |] one;
+  Alcotest.(check int) "pick singleton" 9 (Rng.pick rng [| 9 |])
+
+let test_bitops_edges () =
+  Alcotest.(check int) "pow2 0" 1 (Bitops.pow2 0);
+  Alcotest.(check int) "pow2 61" (1 lsl 61) (Bitops.pow2 61);
+  Alcotest.(check bool) "is_pow2 1" true (Bitops.is_pow2 1);
+  Alcotest.(check bool) "is_pow2 2" true (Bitops.is_pow2 2);
+  Alcotest.(check bool) "is_pow2 3" false (Bitops.is_pow2 3);
+  Alcotest.(check bool) "is_pow2 63" false (Bitops.is_pow2 63);
+  Alcotest.(check bool) "is_pow2 64" true (Bitops.is_pow2 64);
+  Alcotest.(check int) "align_down 1" 17 (Bitops.align_down 1 17);
+  Alcotest.(check int) "align_up 1" 17 (Bitops.align_up 1 17);
+  Alcotest.(check bool) "everything 1-aligned" true (Bitops.is_aligned 1 13);
+  Alcotest.(check int) "cdiv 1 1" 1 (Bitops.cdiv 1 1);
+  Alcotest.(check int) "cdiv n<d" 1 (Bitops.cdiv 3 8)
+
 let test_stats () =
   Alcotest.(check (float 1e-9)) "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
   Alcotest.(check (float 1e-9)) "geomean" 2.0 (Stats.geomean [ 1.0; 2.0; 4.0 ]);
@@ -118,6 +163,12 @@ let suite =
       Helpers.qt "rng: bounds" `Quick test_rng_bounds;
       Helpers.qt "rng: weighted" `Quick test_rng_weighted;
       Helpers.qt "rng: shuffle is a permutation" `Quick test_rng_shuffle;
+      Helpers.qt "rng: weighted zero-weight edges" `Quick
+        test_rng_weighted_edges;
+      Helpers.qt "rng: degenerate ranges" `Quick test_rng_int_in_degenerate;
+      Helpers.qt "rng: shuffle/pick on tiny arrays" `Quick
+        test_rng_shuffle_tiny;
+      Helpers.qt "bitops: edge cases" `Quick test_bitops_edges;
       Helpers.qt "stats: basics" `Quick test_stats;
       test_geomean_scale_invariance;
       Helpers.qt "table: render" `Quick test_table_render;
