@@ -7,6 +7,8 @@ open Bechamel
 open Toolkit
 module Memsim = Giantsan_memsim
 module San = Giantsan_sanitizer.Sanitizer
+module Counters = Giantsan_sanitizer.Counters
+module Telemetry = Giantsan_telemetry
 module Shadow_mem = Giantsan_shadow.Shadow_mem
 module SC = Giantsan_core.State_code
 module Folding = Giantsan_core.Folding
@@ -284,15 +286,79 @@ let run_group test =
         (name, ns) :: acc)
       tbl []
   in
+  let rows = List.sort compare rows in
   List.iter
     (fun (name, ns) -> Printf.printf "  %-44s %12.1f ns/run\n" name ns)
-    (List.sort compare rows)
+    rows;
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* --telemetry [FILE]: BENCH_giantsan.json (schema in EXPERIMENTS.md)  *)
+(* ------------------------------------------------------------------ *)
+
+(* Bechamel has no CLI layer, so the flag is a plain argv scan. *)
+let telemetry_path =
+  let argv = Sys.argv in
+  let n = Array.length argv in
+  let rec scan i =
+    if i >= n then None
+    else if argv.(i) = "--telemetry" then
+      if i + 1 < n && argv.(i + 1) <> "" && argv.(i + 1).[0] <> '-' then
+        Some argv.(i + 1)
+      else Some "BENCH_giantsan.json"
+    else scan (i + 1)
+  in
+  scan 1
+
+(* Per-profile simulated cost under every sanitizer configuration, at a
+   reduced scale so the sweep stays in seconds. LFP's compile-error
+   profiles report [nan] sim time and are skipped. *)
+let profile_stats () =
+  let shrink p = { p with Specgen.p_phases = 4; p_iters = 128 } in
+  List.concat_map
+    (fun p ->
+      List.filter_map
+        (fun cfg ->
+          let r = Runner.run_one ~heap:bench_heap (shrink p) cfg in
+          if r.Runner.r_status <> Runner.Completed then None
+          else
+            let c = r.Runner.r_counters in
+            Some
+              {
+                Telemetry.Export.bp_profile = r.Runner.r_profile;
+                bp_config = Runner.config_name cfg;
+                bp_sim_ns = r.Runner.r_sim_ns;
+                bp_ops = r.Runner.r_ops;
+                bp_shadow_loads = r.Runner.r_shadow_loads;
+                bp_region_checks = c.Counters.region_checks;
+                bp_fast_checks = c.Counters.fast_checks;
+                bp_slow_checks = c.Counters.slow_checks;
+              })
+        Runner.all_configs)
+    Profiles.all
 
 let () =
   print_endline "GiantSan reproduction benchmarks (Bechamel)";
   print_endline "===========================================";
-  List.iter
-    (fun g ->
-      Printf.printf "\n[%s]\n" (Test.name g);
-      run_group g)
-    groups
+  let group_rows =
+    List.map
+      (fun g ->
+        let name = Test.name g in
+        Printf.printf "\n[%s]\n" name;
+        Telemetry.Span.with_span ("bench:" ^ name) (fun () ->
+            (name, run_group g)))
+      groups
+  in
+  match telemetry_path with
+  | None -> ()
+  | Some path ->
+    let profiles =
+      Telemetry.Span.with_span "bench:profile-sweep" profile_stats
+    in
+    let body =
+      Telemetry.Export.bench_json ~groups:group_rows ~profiles
+        ~spans:(Telemetry.Span.completed ())
+        ()
+    in
+    Telemetry.Export.write_file path body;
+    Printf.printf "\nbench telemetry written to %s\n" path

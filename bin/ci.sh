@@ -28,4 +28,23 @@ if ! cmp -s "$tmpdir/run1.txt" "$tmpdir/run2.txt"; then
 fi
 echo "byte-identical summaries across two seeded runs"
 
+echo "== telemetry trace smoke =="
+dune exec bin/main.exe -- trace test/corpus/regressions/uaf_then_double_free.scn \
+  > "$tmpdir/trace1.ndjson"
+if ! test -s "$tmpdir/trace1.ndjson"; then
+  echo "FAIL: trace produced no output" >&2
+  exit 1
+fi
+dune exec bin/main.exe -- check-ndjson "$tmpdir/trace1.ndjson"
+
+echo "== trace determinism =="
+dune exec bin/main.exe -- trace test/corpus/regressions/uaf_then_double_free.scn \
+  > "$tmpdir/trace2.ndjson"
+if ! cmp -s "$tmpdir/trace1.ndjson" "$tmpdir/trace2.ndjson"; then
+  echo "FAIL: traces differ between identical runs" >&2
+  diff "$tmpdir/trace1.ndjson" "$tmpdir/trace2.ndjson" >&2 || true
+  exit 1
+fi
+echo "byte-identical traces across two runs"
+
 echo "== ci green =="

@@ -14,15 +14,42 @@ let write_out path body =
     output_string oc "\n";
     close_out oc
 
-let run_ids ids quick out =
-  List.iter
-    (fun id ->
-      let o = Giantsan_report.Experiments.run ~quick id in
-      print_string o.Giantsan_report.Experiments.o_body;
-      print_newline ();
-      write_out out o.Giantsan_report.Experiments.o_body)
-    ids;
-  0
+(* Run [f] with the telemetry subsystem live (event sink + sanitizer
+   registry + span log) and write the summary JSON afterwards. *)
+let with_telemetry telemetry f =
+  match telemetry with
+  | None -> f ()
+  | Some path ->
+    let module T = Giantsan_telemetry in
+    let module Registry = Giantsan_sanitizer.Sanitizer.Registry in
+    T.Trace.enable ();
+    Registry.enable ();
+    T.Span.reset ();
+    Fun.protect
+      ~finally:(fun () ->
+        let body =
+          T.Export.summary_json
+            ~spans:(T.Span.completed ())
+            ~tools:(Registry.snapshot ())
+            ()
+        in
+        T.Export.write_file path body;
+        Registry.disable ();
+        Registry.clear ();
+        T.Trace.disable ();
+        Printf.eprintf "telemetry summary written to %s\n" path)
+      f
+
+let run_ids ids quick out telemetry =
+  with_telemetry telemetry (fun () ->
+      List.iter
+        (fun id ->
+          let o = Giantsan_report.Experiments.run ~quick id in
+          print_string o.Giantsan_report.Experiments.o_body;
+          print_newline ();
+          write_out out o.Giantsan_report.Experiments.o_body)
+        ids;
+      0)
 
 let quick_flag =
   let doc = "Smaller populations / fewer profiles (smoke-test mode)." in
@@ -32,20 +59,33 @@ let out_file =
   let doc = "Append the rendered report to $(docv)." in
   Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
 
+let telemetry_file =
+  let doc =
+    "Run with the telemetry subsystem enabled (event tracing, per-tool \
+     metric registry, span profiling) and write the summary JSON to \
+     $(docv)."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "telemetry" ] ~docv:"FILE" ~doc)
+
 let experiment_cmd id title =
   let doc = Printf.sprintf "Reproduce the paper's %s." title in
   Cmd.v
     (Cmd.info id ~doc)
-    Term.(const (fun quick out -> run_ids [ id ] quick out) $ quick_flag $ out_file)
+    Term.(
+      const (fun quick out telemetry -> run_ids [ id ] quick out telemetry)
+      $ quick_flag $ out_file $ telemetry_file)
 
 let all_cmd =
   let doc = "Run every experiment (all tables and figures)." in
   Cmd.v
     (Cmd.info "all" ~doc)
     Term.(
-      const (fun quick out ->
-          run_ids Giantsan_report.Experiments.all_ids quick out)
-      $ quick_flag $ out_file)
+      const (fun quick out telemetry ->
+          run_ids Giantsan_report.Experiments.all_ids quick out telemetry)
+      $ quick_flag $ out_file $ telemetry_file)
 
 let extras_cmd =
   let doc =
@@ -55,9 +95,9 @@ let extras_cmd =
   Cmd.v
     (Cmd.info "extras" ~doc)
     Term.(
-      const (fun quick out ->
-          run_ids Giantsan_report.Experiments.extra_ids quick out)
-      $ quick_flag $ out_file)
+      const (fun quick out telemetry ->
+          run_ids Giantsan_report.Experiments.extra_ids quick out telemetry)
+      $ quick_flag $ out_file $ telemetry_file)
 
 let fuzz_matrix_cmd =
   let doc =
@@ -139,6 +179,7 @@ let fuzz_cmd =
             List.iter
               (fun f ->
                 Giantsan_fuzz.Corpus.save_file
+                  ~trace:f.Giantsan_fuzz.Engine.f_trace
                   (Filename.concat dir
                      (f.Giantsan_fuzz.Engine.f_id ^ ".scn"))
                   f.Giantsan_fuzz.Engine.f_scenario)
@@ -181,6 +222,66 @@ let replay_cmd =
           end)
       $ dir)
 
+let trace_cmd =
+  let doc =
+    "Replay one corpus scenario across every sanitizer with the event \
+     tracer on and print the combined NDJSON trace (events carry a \
+     $(b,tool) field). Deterministic: the same file always prints \
+     byte-identical lines."
+  in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE.scn" ~doc:"Scenario file (corpus format).")
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(
+      const (fun file ->
+          match Giantsan_fuzz.Corpus.load_file file with
+          | Error e ->
+            Printf.eprintf "trace: %s: %s\n" file e;
+            1
+          | Ok sc ->
+            let lines = Giantsan_fuzz.Exec.capture_trace sc in
+            List.iter print_endline lines;
+            if lines = [] then begin
+              Printf.eprintf "trace: %s produced no events\n" file;
+              1
+            end
+            else 0)
+      $ file)
+
+let check_ndjson_cmd =
+  let doc =
+    "Validate an NDJSON trace dump: every non-empty line must be one JSON \
+     object with an $(b,ev) string field and a non-negative $(b,seq) int \
+     field."
+  in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"NDJSON file to validate.")
+  in
+  Cmd.v
+    (Cmd.info "check-ndjson" ~doc)
+    Term.(
+      const (fun file ->
+          match In_channel.with_open_text file In_channel.input_all with
+          | exception Sys_error e ->
+            Printf.eprintf "check-ndjson: %s\n" e;
+            1
+          | text -> (
+            match Giantsan_telemetry.Export.check_ndjson text with
+            | Ok n ->
+              Printf.printf "%s: %d event line(s) OK\n" file n;
+              0
+            | Error e ->
+              Printf.eprintf "check-ndjson: %s: %s\n" file e;
+              1))
+      $ file)
+
 let validate_cmd =
   let doc = "Re-validate the ground-truth labels of every generated corpus." in
   Cmd.v (Cmd.info "validate" ~doc)
@@ -201,7 +302,7 @@ let () =
   in
   let cmds =
     all_cmd :: extras_cmd :: fuzz_cmd :: fuzz_matrix_cmd :: replay_cmd
-    :: validate_cmd
+    :: trace_cmd :: check_ndjson_cmd :: validate_cmd
     :: List.map
          (fun id -> experiment_cmd id id)
          (Giantsan_report.Experiments.all_ids

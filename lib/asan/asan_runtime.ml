@@ -4,6 +4,8 @@ module San = Giantsan_sanitizer.Sanitizer
 module Counters = Giantsan_sanitizer.Counters
 module Report = Giantsan_sanitizer.Report
 module E = Asan_encoding
+module Trace = Giantsan_telemetry.Trace
+module Histogram = Giantsan_telemetry.Histogram
 
 (* Example 1 (§2.2): one shadow load, one compare. *)
 let check_access m ~addr ~width =
@@ -33,12 +35,16 @@ let create_exposed_named name config =
   let heap = Memsim.Heap.create config in
   let m = Shadow_mem.of_heap heap ~fill:E.unallocated in
   let counters = Counters.create () in
+  let hists = Histogram.create_set () in
   let report ?base ~addr ~size () =
     counters.Counters.errors <- counters.Counters.errors + 1;
-    Some
-      (Report.make
-         ~kind:(Report.classify_access heap ~addr ~base)
-         ~addr ~size ~detected_by:name)
+    let r =
+      Report.make
+        ~kind:(Report.classify_access heap ~addr ~base)
+        ~addr ~size ~detected_by:name
+    in
+    Trace.emit_report ~tool:name ~kind:(Report.kind_name r.Report.kind) ~addr;
+    Some r
   in
   let malloc ?kind size =
     counters.Counters.mallocs <- counters.Counters.mallocs + 1;
@@ -46,45 +52,70 @@ let create_exposed_named name config =
     E.poison_alloc m obj;
     counters.Counters.poison_segments <-
       counters.Counters.poison_segments + (obj.Memsim.Memobj.block_len / 8);
+    Trace.emit_malloc ~tool:name ~base:obj.Memsim.Memobj.base ~size
+      ~kind:(Memsim.Memobj.kind_name obj.Memsim.Memobj.kind);
     obj
   in
   let free ptr =
     counters.Counters.frees <- counters.Counters.frees + 1;
+    Trace.emit_free ~tool:name ~addr:ptr;
     match Memsim.Heap.free heap ptr with
     | Ok { freed; evicted } ->
       E.poison_free m freed;
       List.iter (E.poison_evict m) evicted;
       None
-    | Error err ->
-      let r = San.free_error_report ~name ~addr:ptr err in
-      if r <> None then counters.Counters.errors <- counters.Counters.errors + 1;
-      r
+    | Error err -> (
+      match San.free_error_report ~name ~addr:ptr err with
+      | Some r ->
+        counters.Counters.errors <- counters.Counters.errors + 1;
+        Trace.emit_report ~tool:name
+          ~kind:(Report.kind_name r.Report.kind)
+          ~addr:ptr;
+        Some r
+      | None -> None)
+  in
+  (* ASan's instruction checks are single-load fast-path events; its linear
+     region scans are the slow path. *)
+  let region ?base ~lo ~hi ~size () =
+    counters.Counters.region_checks <- counters.Counters.region_checks + 1;
+    let loads_before = if Trace.is_on () then Shadow_mem.loads m else 0 in
+    let bad = region_is_safe m ~lo ~hi in
+    if Trace.is_on () then begin
+      let loads = Shadow_mem.loads m - loads_before in
+      Histogram.observe hists.Histogram.h_loads_per_check loads;
+      Trace.emit_region_check ~tool:name ~lo ~hi ~fast:false ~loads;
+      if loads > 0 then Trace.emit_shadow_load ~tool:name ~count:loads
+    end;
+    match bad with
+    | None -> None
+    | Some bad -> report ?base ~addr:bad ~size ()
   in
   let access ~base ~addr ~width =
     (* ASan ignores the anchor: instruction-level protection only. *)
     ignore base;
+    if Trace.is_on () then
+      Histogram.observe hists.Histogram.h_access_width width;
     if width <= 8 then begin
       counters.Counters.instr_checks <- counters.Counters.instr_checks + 1;
-      if check_access m ~addr ~width then None
-      else report ~addr ~size:width ()
+      let ok = check_access m ~addr ~width in
+      if Trace.is_on () then begin
+        Trace.emit_shadow_load ~tool:name ~count:1;
+        Trace.emit_access ~tool:name ~addr ~width ~fast:true
+      end;
+      if ok then None else report ~addr ~size:width ()
     end
     else begin
-      counters.Counters.region_checks <- counters.Counters.region_checks + 1;
-      match region_is_safe m ~lo:addr ~hi:(addr + width) with
-      | None -> None
-      | Some bad -> report ~addr:bad ~size:width ()
+      let r = region ~lo:addr ~hi:(addr + width) ~size:width () in
+      Trace.emit_access ~tool:name ~addr ~width ~fast:false;
+      r
     end
   in
-  let check_region ~lo ~hi =
-    counters.Counters.region_checks <- counters.Counters.region_checks + 1;
-    match region_is_safe m ~lo ~hi with
-    | None -> None
-    | Some bad -> report ~base:lo ~addr:bad ~size:(hi - lo) ()
-  in
-  ( {
+  let check_region ~lo ~hi = region ~base:lo ~lo ~hi ~size:(hi - lo) () in
+  let san = {
     San.name;
     heap;
     counters;
+    hists;
     shadow_loads = (fun () -> Shadow_mem.loads m);
     malloc;
     free;
@@ -99,8 +130,10 @@ let create_exposed_named name config =
           ~addr:(cache.San.cache_base + off) ~width);
     flush_cache = (fun _ -> None);
     supports_operation_level = false;
-  },
-    m )
+  }
+  in
+  San.Registry.register san;
+  (san, m)
 
 let create_named name config = fst (create_exposed_named name config)
 let create config = create_named "ASan" config

@@ -3,17 +3,26 @@ module Shadow_mem = Giantsan_shadow.Shadow_mem
 module San = Giantsan_sanitizer.Sanitizer
 module Counters = Giantsan_sanitizer.Counters
 module Report = Giantsan_sanitizer.Report
+module Trace = Giantsan_telemetry.Trace
+module Histogram = Giantsan_telemetry.Histogram
 
 let create_exposed_variant ~name ~use_cache ~check_underflow config =
   let heap = Memsim.Heap.create config in
   let m = Shadow_mem.of_heap heap ~fill:State_code.unallocated in
   let counters = Counters.create () in
+  let hists = Histogram.create_set () in
+  (* quarantine-residency bookkeeping (telemetry only): the free sequence
+     number each block entered quarantine at, keyed by object id *)
+  let quarantined_at : (int, int) Hashtbl.t = Hashtbl.create 16 in
   let report ?base ~addr ~size () =
     counters.Counters.errors <- counters.Counters.errors + 1;
-    Some
-      (Report.make
-         ~kind:(Report.classify_access heap ~addr ~base)
-         ~addr ~size ~detected_by:name)
+    let r =
+      Report.make
+        ~kind:(Report.classify_access heap ~addr ~base)
+        ~addr ~size ~detected_by:name
+    in
+    Trace.emit_report ~tool:name ~kind:(Report.kind_name r.Report.kind) ~addr;
+    Some r
   in
   let count_region outcome =
     counters.Counters.region_checks <- counters.Counters.region_checks + 1;
@@ -24,8 +33,17 @@ let create_exposed_variant ~name ~use_cache ~check_underflow config =
       counters.Counters.slow_checks <- counters.Counters.slow_checks + 1
   in
   let ci ?anchor ~l ~r ~size () =
+    let loads_before = if Trace.is_on () then Shadow_mem.loads m else 0 in
     let outcome = Region_check.check_unaligned m ~l ~r in
     count_region outcome;
+    if Trace.is_on () then begin
+      let loads = Shadow_mem.loads m - loads_before in
+      Histogram.observe hists.Histogram.h_loads_per_check loads;
+      Trace.emit_region_check ~tool:name ~lo:l ~hi:r
+        ~fast:(outcome = Region_check.Safe_fast)
+        ~loads;
+      if loads > 0 then Trace.emit_shadow_load ~tool:name ~count:loads
+    end;
     match outcome with
     | Region_check.Safe_fast | Region_check.Safe_slow -> None
     | Region_check.Bad addr -> report ?base:anchor ~addr ~size ()
@@ -36,59 +54,99 @@ let create_exposed_variant ~name ~use_cache ~check_underflow config =
     Folding.poison_alloc m obj;
     counters.Counters.poison_segments <-
       counters.Counters.poison_segments + (obj.Memsim.Memobj.block_len / 8);
+    if Trace.is_on () then begin
+      Trace.emit_malloc ~tool:name ~base:obj.Memsim.Memobj.base ~size
+        ~kind:(Memsim.Memobj.kind_name obj.Memsim.Memobj.kind);
+      Histogram.observe hists.Histogram.h_fold_degree
+        (if size >= 8 then Folding.degree_at ~good_segments:(size / 8) else 0)
+    end;
     obj
   in
   let free ptr =
     counters.Counters.frees <- counters.Counters.frees + 1;
+    Trace.emit_free ~tool:name ~addr:ptr;
     match Memsim.Heap.free heap ptr with
     | Ok { freed; evicted } ->
       Folding.poison_free m freed;
       List.iter (Folding.poison_evict m) evicted;
+      if Trace.is_on () then begin
+        let now = counters.Counters.frees in
+        Hashtbl.replace quarantined_at freed.Memsim.Memobj.id now;
+        List.iter
+          (fun (o : Memsim.Memobj.t) ->
+            match Hashtbl.find_opt quarantined_at o.Memsim.Memobj.id with
+            | None -> ()
+            | Some entered ->
+              Hashtbl.remove quarantined_at o.Memsim.Memobj.id;
+              Histogram.observe hists.Histogram.h_quarantine_residency
+                (now - entered))
+          evicted
+      end;
       None
     | Error err ->
       let r = San.free_error_report ~name ~addr:ptr err in
-      if r <> None then
+      (match r with
+      | Some r ->
         counters.Counters.errors <- counters.Counters.errors + 1;
+        Trace.emit_report ~tool:name
+          ~kind:(Report.kind_name r.Report.kind)
+          ~addr:ptr
+      | None -> ());
       r
   in
-  let access ~base ~addr ~width =
-    if base > 0 && addr >= base then
-      (* anchor-based: protect everything between the anchor and the access *)
-      ci ~anchor:base ~l:base ~r:(addr + width) ~size:width ()
-    else if base > 0 && check_underflow then begin
-      counters.Counters.underflow_checks <-
-        counters.Counters.underflow_checks + 1;
-      match ci ~anchor:base ~l:addr ~r:base ~size:width () with
-      | Some r -> Some r
-      | None ->
-        if addr + width > base then
-          ci ~anchor:base ~l:base ~r:(addr + width) ~size:width ()
-        else None
+  let traced_access ~addr ~width check =
+    if Trace.is_on () then begin
+      Histogram.observe hists.Histogram.h_access_width width;
+      let slow_before = counters.Counters.slow_checks in
+      let r = check () in
+      Trace.emit_access ~tool:name ~addr ~width
+        ~fast:(counters.Counters.slow_checks = slow_before);
+      r
     end
-    else
-      (* no anchor (or underflow anchoring disabled, the §5.4 degraded
-         mode): check only the accessed bytes *)
-      ci ~l:addr ~r:(addr + width) ~size:width ()
+    else check ()
+  in
+  let access ~base ~addr ~width =
+    traced_access ~addr ~width (fun () ->
+        if base > 0 && addr >= base then
+          (* anchor-based: protect everything between the anchor and the
+             access *)
+          ci ~anchor:base ~l:base ~r:(addr + width) ~size:width ()
+        else if base > 0 && check_underflow then begin
+          counters.Counters.underflow_checks <-
+            counters.Counters.underflow_checks + 1;
+          match ci ~anchor:base ~l:addr ~r:base ~size:width () with
+          | Some r -> Some r
+          | None ->
+            if addr + width > base then
+              ci ~anchor:base ~l:base ~r:(addr + width) ~size:width ()
+            else None
+        end
+        else
+          (* no anchor (or underflow anchoring disabled, the §5.4 degraded
+             mode): check only the accessed bytes *)
+          ci ~l:addr ~r:(addr + width) ~size:width ())
   in
   let check_region ~lo ~hi =
     ci ~anchor:lo ~l:lo ~r:hi ~size:(hi - lo) ()
   in
   let cached_access (cache : San.cache) ~off ~width =
+    let addr = cache.San.cache_base + off in
     if off < 0 && not check_underflow then
       (* degraded §5.4 mode: unanchored check of the accessed bytes only *)
-      ci
-        ~l:(cache.San.cache_base + off)
-        ~r:(cache.San.cache_base + off + width)
-        ~size:width ()
-    else if use_cache then begin
-      match Quasi_bound.access m counters cache ~off ~width with
-      | Quasi_bound.Ok_cached | Quasi_bound.Ok_checked -> None
-      | Quasi_bound.Bad addr ->
-        report ~base:cache.San.cache_base ~addr ~size:width ()
-    end
-    else
-      access ~base:cache.San.cache_base
-        ~addr:(cache.San.cache_base + off) ~width
+      traced_access ~addr ~width (fun () ->
+          ci ~l:addr ~r:(addr + width) ~size:width ())
+    else if use_cache then
+      traced_access ~addr ~width (fun () ->
+          match Quasi_bound.access m counters cache ~off ~width with
+          | Quasi_bound.Ok_cached ->
+            Trace.emit_cache_hit ~tool:name ~off;
+            None
+          | Quasi_bound.Ok_checked ->
+            Trace.emit_cache_update ~tool:name ~ub:cache.San.cache_ub;
+            None
+          | Quasi_bound.Bad addr ->
+            report ~base:cache.San.cache_base ~addr ~size:width ())
+    else access ~base:cache.San.cache_base ~addr ~width
   in
   let flush_cache cache =
     if not use_cache then None
@@ -97,10 +155,12 @@ let create_exposed_variant ~name ~use_cache ~check_underflow config =
       | None -> None
       | Some addr -> report ~base:cache.San.cache_base ~addr ~size:0 ()
   in
-  ( {
+  let san =
+    {
       San.name;
       heap;
       counters;
+      hists;
       shadow_loads = (fun () -> Shadow_mem.loads m);
       malloc;
       free;
@@ -110,8 +170,10 @@ let create_exposed_variant ~name ~use_cache ~check_underflow config =
       cached_access;
       flush_cache;
       supports_operation_level = true;
-    },
-    m )
+    }
+  in
+  San.Registry.register san;
+  (san, m)
 
 let create_variant ~name ~use_cache ?(check_underflow = true) config =
   fst (create_exposed_variant ~name ~use_cache ~check_underflow config)

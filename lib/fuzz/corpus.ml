@@ -125,9 +125,15 @@ let of_string text =
     else
       Ok { Scenario.sc_id = !id; sc_cwe = !cwe; sc_buggy = label; sc_steps = steps }
 
-let save_file path t =
+let save_file ?(trace = []) path t =
   let oc = open_out path in
   output_string oc (to_string t);
+  if trace <> [] then begin
+    (* '#' lines are stripped by [of_string], so the annotated file stays
+       replayable *)
+    output_string oc "#\n# telemetry trace of this scenario (NDJSON):\n";
+    List.iter (fun line -> output_string oc ("# trace: " ^ line ^ "\n")) trace
+  end;
   close_out oc
 
 let load_file path =

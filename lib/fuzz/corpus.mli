@@ -28,7 +28,11 @@ val of_string : string -> (Giantsan_bugs.Scenario.t, string) result
     [sc_buggy] label is cross-checked against the ground truth and rejected
     when inconsistent (a corpus file must never lie about its label). *)
 
-val save_file : string -> Giantsan_bugs.Scenario.t -> unit
+val save_file : ?trace:string list -> string -> Giantsan_bugs.Scenario.t -> unit
+(** [save_file ?trace path t] writes {!to_string}[ t]; when [trace] is
+    non-empty, each line is appended as a [# trace: ...] comment so the
+    event trace travels with the reproducer without breaking replay. *)
+
 val load_file : string -> (Giantsan_bugs.Scenario.t, string) result
 
 val load_dir : string -> (string * (Giantsan_bugs.Scenario.t, string) result) list

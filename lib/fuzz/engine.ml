@@ -18,6 +18,7 @@ type finding = {
   f_scenario : Scenario.t;
   f_original_steps : int;
   f_divergences : string list;
+  f_trace : string list;
 }
 
 type summary = {
@@ -80,12 +81,16 @@ let run config =
             else sc
           in
           let id = Printf.sprintf "finding_%d" (List.length !findings) in
+          let scenario = { shrunk with Scenario.sc_id = id } in
           findings :=
             {
               f_id = id;
-              f_scenario = { shrunk with Scenario.sc_id = id };
+              f_scenario = scenario;
               f_original_steps = original_steps;
               f_divergences = names;
+              (* the minimal reproducer's event trace rides along with the
+                 finding so saved .scn files explain themselves *)
+              f_trace = Exec.capture_trace scenario;
             }
             :: !findings
         end

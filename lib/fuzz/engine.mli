@@ -25,6 +25,10 @@ type finding = {
   f_scenario : Giantsan_bugs.Scenario.t;  (** shrunk when [minimize] *)
   f_original_steps : int;  (** step count before shrinking *)
   f_divergences : string list;  (** divergence names, sorted *)
+  f_trace : string list;
+      (** NDJSON event trace of the minimal reproducer across all tools
+          ({!Exec.capture_trace}); attached as comment lines when the
+          finding is saved to a corpus file *)
 }
 
 type summary = {

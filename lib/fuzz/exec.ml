@@ -123,3 +123,9 @@ let diverges scenario =
   match run scenario with
   | Ok { divergences; _ } -> divergences <> []
   | Error _ -> false
+
+let capture_trace scenario =
+  let _, events =
+    Giantsan_telemetry.Trace.with_capture (fun () -> run scenario)
+  in
+  Giantsan_telemetry.Export.ndjson_lines events

@@ -31,3 +31,9 @@ val run : Giantsan_bugs.Scenario.t -> (outcome, string) result
 val diverges : Giantsan_bugs.Scenario.t -> bool
 (** Does the scenario currently produce at least one divergence? (The
     shrinker's "still interesting" predicate.) *)
+
+val capture_trace : Giantsan_bugs.Scenario.t -> string list
+(** Re-execute the scenario across the full tool matrix with the telemetry
+    tracer enabled and return the NDJSON event lines. Deterministic: events
+    carry sequence numbers, never timestamps, so the same scenario always
+    yields byte-identical lines. *)

@@ -2,6 +2,8 @@ module Memsim = Giantsan_memsim
 module San = Giantsan_sanitizer.Sanitizer
 module Counters = Giantsan_sanitizer.Counters
 module Report = Giantsan_sanitizer.Report
+module Trace = Giantsan_telemetry.Trace
+module Histogram = Giantsan_telemetry.Histogram
 
 let believed_end (obj : Memsim.Memobj.t) =
   obj.base + Size_class.round_up obj.size
@@ -9,13 +11,17 @@ let believed_end (obj : Memsim.Memobj.t) =
 let create config =
   let heap = Memsim.Heap.create config in
   let counters = Counters.create () in
+  let hists = Histogram.create_set () in
   let name = "LFP" in
   let report ?base ~addr ~size () =
     counters.Counters.errors <- counters.Counters.errors + 1;
-    Some
-      (Report.make
-         ~kind:(Report.classify_access heap ~addr ~base)
-         ~addr ~size ~detected_by:name)
+    let r =
+      Report.make
+        ~kind:(Report.classify_access heap ~addr ~base)
+        ~addr ~size ~detected_by:name
+    in
+    Trace.emit_report ~tool:name ~kind:(Report.kind_name r.Report.kind) ~addr;
+    Some r
   in
   let malloc ?kind size =
     counters.Counters.mallocs <- counters.Counters.mallocs + 1;
@@ -23,16 +29,24 @@ let create config =
        the oracle still only marks the requested bytes addressable, which
        is exactly LFP's blind spot. *)
     let obj = Memsim.Heap.malloc heap ?kind size in
+    Trace.emit_malloc ~tool:name ~base:obj.Memsim.Memobj.base ~size
+      ~kind:(Memsim.Memobj.kind_name obj.Memsim.Memobj.kind);
     obj
   in
   let free ptr =
     counters.Counters.frees <- counters.Counters.frees + 1;
+    Trace.emit_free ~tool:name ~addr:ptr;
     match Memsim.Heap.free heap ptr with
     | Ok _ -> None
     | Error err ->
       let r = San.free_error_report ~name ~addr:ptr err in
-      if r <> None then
+      (match r with
+      | Some r ->
         counters.Counters.errors <- counters.Counters.errors + 1;
+        Trace.emit_report ~tool:name
+          ~kind:(Report.kind_name r.Report.kind)
+          ~addr:ptr
+      | None -> ());
       r
   in
   (* Bounds check against the slot of [anchor] (the pointer the bounds were
@@ -67,16 +81,28 @@ let create config =
         end
   in
   let access ~base ~addr ~width =
+    if Trace.is_on () then
+      Histogram.observe hists.Histogram.h_access_width width;
     let anchor = if base > 0 then base else addr in
-    bounds_check ~anchor ~lo:addr ~hi:(addr + width)
+    let r = bounds_check ~anchor ~lo:addr ~hi:(addr + width) in
+    (* LFP consults its per-slot bound table, never shadow: every check is
+       a constant-time fast-path comparison *)
+    Trace.emit_access ~tool:name ~addr ~width ~fast:true;
+    r
   in
   let check_region ~lo ~hi =
-    if hi <= lo then None else bounds_check ~anchor:lo ~lo ~hi
+    if hi <= lo then None
+    else begin
+      let r = bounds_check ~anchor:lo ~lo ~hi in
+      Trace.emit_region_check ~tool:name ~lo ~hi ~fast:true ~loads:0;
+      r
+    end
   in
-  {
+  let san = {
     San.name;
     heap;
     counters;
+    hists;
     shadow_loads = (fun () -> 0);
     malloc;
     free;
@@ -90,3 +116,6 @@ let create config =
     flush_cache = (fun _ -> None);
     supports_operation_level = true;
   }
+  in
+  San.Registry.register san;
+  san

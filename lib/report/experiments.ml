@@ -718,19 +718,22 @@ let extra_ids =
   [ "ablation-encoding"; "sweep-redzone"; "sweep-quarantine"; "compat" ]
 
 let run ?(quick = false) id =
-  match id with
-  | "table1" -> table1 ()
-  | "table2" -> table2 ~quick ()
-  | "fig10" -> fig10 ~quick ()
-  | "table3" -> table3 ()
-  | "table4" -> table4 ()
-  | "table5" -> table5 ~scale:(if quick then 20 else 1) ()
-  | "fig11" ->
-    if quick then fig11 ~sizes_kb:[ 1; 4 ] ~reps:50 () else fig11 ()
-  | "ablation-encoding" -> ablation_encoding ()
-  | "sweep-redzone" -> sweep_redzone ()
-  | "sweep-quarantine" -> sweep_quarantine ()
-  | "compat" -> compat ()
-  | other -> invalid_arg ("Experiments.run: unknown experiment " ^ other)
+  (* every experiment is a telemetry span: wall-clock + allocation stats
+     land in the span log (and in summary.json under --telemetry) *)
+  Giantsan_telemetry.Span.with_span ("experiment:" ^ id) (fun () ->
+      match id with
+      | "table1" -> table1 ()
+      | "table2" -> table2 ~quick ()
+      | "fig10" -> fig10 ~quick ()
+      | "table3" -> table3 ()
+      | "table4" -> table4 ()
+      | "table5" -> table5 ~scale:(if quick then 20 else 1) ()
+      | "fig11" ->
+        if quick then fig11 ~sizes_kb:[ 1; 4 ] ~reps:50 () else fig11 ()
+      | "ablation-encoding" -> ablation_encoding ()
+      | "sweep-redzone" -> sweep_redzone ()
+      | "sweep-quarantine" -> sweep_quarantine ()
+      | "compat" -> compat ()
+      | other -> invalid_arg ("Experiments.run: unknown experiment " ^ other))
 
 let run_all ?quick () = List.map (fun id -> run ?quick id) all_ids

@@ -1,3 +1,5 @@
+module Metric = Giantsan_telemetry.Metric
+
 type t = {
   mutable mallocs : int;
   mutable frees : int;
@@ -12,6 +14,42 @@ type t = {
   mutable bounds_checks : int;
   mutable errors : int;
 }
+
+(* The single declarative field list: reset/add/to_assoc/pp/total_checks
+   are all derived from it, so none of them can drift from the record. *)
+let spec : t Metric.spec =
+  [
+    Metric.field "mallocs" (fun t -> t.mallocs) (fun t v -> t.mallocs <- v);
+    Metric.field "frees" (fun t -> t.frees) (fun t v -> t.frees <- v);
+    Metric.field "poison_segments"
+      (fun t -> t.poison_segments)
+      (fun t v -> t.poison_segments <- v);
+    Metric.field "instr_checks"
+      (fun t -> t.instr_checks)
+      (fun t v -> t.instr_checks <- v);
+    Metric.field "region_checks"
+      (fun t -> t.region_checks)
+      (fun t v -> t.region_checks <- v);
+    Metric.field "fast_checks"
+      (fun t -> t.fast_checks)
+      (fun t v -> t.fast_checks <- v);
+    Metric.field "slow_checks"
+      (fun t -> t.slow_checks)
+      (fun t v -> t.slow_checks <- v);
+    Metric.field "cache_hits"
+      (fun t -> t.cache_hits)
+      (fun t v -> t.cache_hits <- v);
+    Metric.field "cache_updates"
+      (fun t -> t.cache_updates)
+      (fun t v -> t.cache_updates <- v);
+    Metric.field "underflow_checks"
+      (fun t -> t.underflow_checks)
+      (fun t v -> t.underflow_checks <- v);
+    Metric.field "bounds_checks"
+      (fun t -> t.bounds_checks)
+      (fun t v -> t.bounds_checks <- v);
+    Metric.field "errors" (fun t -> t.errors) (fun t v -> t.errors <- v);
+  ]
 
 let create () =
   {
@@ -29,57 +67,17 @@ let create () =
     errors = 0;
   }
 
-let reset t =
-  t.mallocs <- 0;
-  t.frees <- 0;
-  t.poison_segments <- 0;
-  t.instr_checks <- 0;
-  t.region_checks <- 0;
-  t.fast_checks <- 0;
-  t.slow_checks <- 0;
-  t.cache_hits <- 0;
-  t.cache_updates <- 0;
-  t.underflow_checks <- 0;
-  t.bounds_checks <- 0;
-  t.errors <- 0
+let reset t = Metric.reset spec t
+let add acc x = Metric.add spec acc x
 
-let add acc x =
-  acc.mallocs <- acc.mallocs + x.mallocs;
-  acc.frees <- acc.frees + x.frees;
-  acc.poison_segments <- acc.poison_segments + x.poison_segments;
-  acc.instr_checks <- acc.instr_checks + x.instr_checks;
-  acc.region_checks <- acc.region_checks + x.region_checks;
-  acc.fast_checks <- acc.fast_checks + x.fast_checks;
-  acc.slow_checks <- acc.slow_checks + x.slow_checks;
-  acc.cache_hits <- acc.cache_hits + x.cache_hits;
-  acc.cache_updates <- acc.cache_updates + x.cache_updates;
-  acc.underflow_checks <- acc.underflow_checks + x.underflow_checks;
-  acc.bounds_checks <- acc.bounds_checks + x.bounds_checks;
-  acc.errors <- acc.errors + x.errors
+(* Check executions regardless of flavour. [fast_checks] and [slow_checks]
+   are deliberately absent: they partition [region_checks] (every region
+   check is settled by exactly one of the two paths), so adding them would
+   double-count — see the qcheck partition invariant in test_counters.ml. *)
+let total_checks_fields =
+  [ "instr_checks"; "region_checks"; "cache_hits"; "cache_updates";
+    "bounds_checks" ]
 
-let total_checks t =
-  t.instr_checks + t.region_checks + t.cache_hits + t.cache_updates
-  + t.bounds_checks
-
-let to_assoc t =
-  [
-    ("mallocs", t.mallocs);
-    ("frees", t.frees);
-    ("poison_segments", t.poison_segments);
-    ("instr_checks", t.instr_checks);
-    ("region_checks", t.region_checks);
-    ("fast_checks", t.fast_checks);
-    ("slow_checks", t.slow_checks);
-    ("cache_hits", t.cache_hits);
-    ("cache_updates", t.cache_updates);
-    ("underflow_checks", t.underflow_checks);
-    ("bounds_checks", t.bounds_checks);
-    ("errors", t.errors);
-  ]
-
-let pp ppf t =
-  Format.fprintf ppf "@[<v>";
-  List.iter
-    (fun (k, v) -> Format.fprintf ppf "%-16s %d@," k v)
-    (to_assoc t);
-  Format.fprintf ppf "@]"
+let total_checks t = Metric.sum spec ~names:total_checks_fields t
+let to_assoc t = Metric.to_assoc spec t
+let pp ppf t = Metric.pp spec ppf t

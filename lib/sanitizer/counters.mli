@@ -1,7 +1,11 @@
 (** Event counters: every sanitizer records what its runtime did. The cost
     model (Table 2) and the optimization breakdown (Figure 10) are computed
     from these, and the unit tests assert on them — e.g. that a folded
-    region check really loaded O(1) shadow bytes. *)
+    region check really loaded O(1) shadow bytes.
+
+    The operations are derived from one declarative field list ([spec]),
+    so [reset]/[add]/[to_assoc]/[pp] cannot drift from the record: adding
+    a field means adding exactly one line to the spec. *)
 
 type t = {
   mutable mallocs : int;
@@ -18,13 +22,23 @@ type t = {
   mutable errors : int;  (** reports produced *)
 }
 
+val spec : t Giantsan_telemetry.Metric.spec
+(** The declarative field list, in record order. *)
+
 val create : unit -> t
 val reset : t -> unit
 val add : t -> t -> unit
 (** [add acc x] accumulates [x] into [acc]. *)
 
 val total_checks : t -> int
-(** All check executions regardless of flavour. *)
+(** All check executions regardless of flavour:
+    [instr_checks + region_checks + cache_hits + cache_updates +
+    bounds_checks]. [fast_checks] and [slow_checks] are deliberately
+    excluded because they are not independent check executions — they
+    partition [region_checks] (every region check is settled by exactly
+    one of the fast or the slow path, the invariant
+    [fast_checks + slow_checks = region_checks] that the qcheck suite
+    holds every tool to), so including them would double-count. *)
 
 val to_assoc : t -> (string * int) list
 val pp : Format.formatter -> t -> unit

@@ -3,10 +3,11 @@ module Memsim = Giantsan_memsim
 let create config =
   let heap = Memsim.Heap.create config in
   let counters = Counters.create () in
-  {
+  let san = {
     Sanitizer.name = "Native";
     heap;
     counters;
+    hists = Giantsan_telemetry.Histogram.create_set ();
     shadow_loads = (fun () -> 0);
     malloc = (fun ?kind size -> Sanitizer.plain_malloc heap counters ?kind size);
     free =
@@ -25,3 +26,6 @@ let create config =
     flush_cache = (fun _ -> None);
     supports_operation_level = false;
   }
+  in
+  Sanitizer.Registry.register san;
+  san

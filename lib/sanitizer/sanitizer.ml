@@ -1,4 +1,5 @@
 module Memsim = Giantsan_memsim
+module Histogram = Giantsan_telemetry.Histogram
 
 type cache = { mutable cache_base : int; mutable cache_ub : int }
 
@@ -6,6 +7,7 @@ type t = {
   name : string;
   heap : Memsim.Heap.t;
   counters : Counters.t;
+  hists : Histogram.set;
   shadow_loads : unit -> int;
   malloc : ?kind:Memsim.Memobj.kind -> int -> Memsim.Memobj.t;
   free : int -> Report.t option;
@@ -26,6 +28,47 @@ let record_error t = function
 let plain_malloc heap counters ?kind size =
   counters.Counters.mallocs <- counters.Counters.mallocs + 1;
   Memsim.Heap.malloc heap ?kind size
+
+module Registry = struct
+  type cell = {
+    c_name : string;
+    c_counters : Counters.t;
+    c_hists : Histogram.set;
+  }
+
+  let on = ref false
+  let cells : cell list ref = ref []
+  let enable () = on := true
+  let disable () = on := false
+  let is_on () = !on
+  let clear () = cells := []
+
+  let register t =
+    if !on then
+      cells :=
+        { c_name = t.name; c_counters = t.counters; c_hists = t.hists }
+        :: !cells
+
+  let snapshot () =
+    let by_name = Hashtbl.create 8 in
+    List.iter
+      (fun c ->
+        match Hashtbl.find_opt by_name c.c_name with
+        | None ->
+          let acc = Counters.create () in
+          Counters.add acc c.c_counters;
+          Hashtbl.replace by_name c.c_name
+            (acc, Histogram.merge_set (Histogram.create_set ()) c.c_hists)
+        | Some (acc, hists) ->
+          Counters.add acc c.c_counters;
+          Hashtbl.replace by_name c.c_name
+            (acc, Histogram.merge_set hists c.c_hists))
+      !cells;
+    Hashtbl.fold
+      (fun name (acc, hists) l -> (name, Counters.to_assoc acc, hists) :: l)
+      by_name []
+    |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+end
 
 let free_error_report ~name ~addr err =
   let kind =

@@ -21,6 +21,9 @@ type t = {
   name : string;
   heap : Giantsan_memsim.Heap.t;
   counters : Counters.t;
+  hists : Giantsan_telemetry.Histogram.set;
+      (** per-sanitizer telemetry histograms, populated only while the
+          global telemetry switch ([Giantsan_telemetry.Trace]) is on *)
   shadow_loads : unit -> int;
       (** metadata loads performed so far (0 for tools without shadow) *)
   malloc : ?kind:Giantsan_memsim.Memobj.kind -> int -> Giantsan_memsim.Memobj.t;
@@ -59,3 +62,25 @@ val free_error_report :
   name:string -> addr:int -> Giantsan_memsim.Heap.free_error -> Report.t option
 (** Translate an allocator free error into a report ([Free_null] is benign
     and yields [None]). *)
+
+(** Opt-in registry of every sanitizer instance created while it is
+    enabled: the [--telemetry] CLI paths turn it on, run an experiment
+    that internally builds thousands of short-lived sanitizers, and then
+    snapshot the per-tool aggregate counters and histograms for
+    [summary.json]. Only the (name, counters, histograms) triple is
+    retained — never the heap — so registration is cheap. *)
+module Registry : sig
+  val enable : unit -> unit
+  val disable : unit -> unit
+  val is_on : unit -> bool
+  val clear : unit -> unit
+
+  val register : t -> unit
+  (** Called by every runtime constructor; no-op while disabled. *)
+
+  val snapshot :
+    unit ->
+    (string * (string * int) list * Giantsan_telemetry.Histogram.set) list
+  (** Aggregated by tool name (merged counters and histograms), sorted by
+      name. *)
+end

@@ -1,0 +1,69 @@
+type path = Fast | Slow
+
+type t =
+  | Malloc of { tool : string; base : int; size : int; kind : string }
+  | Free of { tool : string; addr : int }
+  | Access of { tool : string; addr : int; width : int; path : path }
+  | Shadow_load of { tool : string; count : int }
+  | Cache_hit of { tool : string; off : int }
+  | Cache_update of { tool : string; ub : int }
+  | Region_check of {
+      tool : string;
+      lo : int;
+      hi : int;
+      path : path;
+      loads : int;
+    }
+  | Report of { tool : string; kind : string; addr : int }
+  | Phase_begin of { name : string }
+  | Phase_end of { name : string }
+
+let name = function
+  | Malloc _ -> "malloc"
+  | Free _ -> "free"
+  | Access _ -> "access"
+  | Shadow_load _ -> "shadow_load"
+  | Cache_hit _ -> "cache_hit"
+  | Cache_update _ -> "cache_update"
+  | Region_check _ -> "region_check"
+  | Report _ -> "report"
+  | Phase_begin _ -> "phase_begin"
+  | Phase_end _ -> "phase_end"
+
+let path_name = function Fast -> "fast" | Slow -> "slow"
+
+let to_json ~seq ev =
+  let fields =
+    match ev with
+    | Malloc { tool; base; size; kind } ->
+      [
+        ("tool", Json.Str tool); ("base", Json.Int base);
+        ("size", Json.Int size); ("kind", Json.Str kind);
+      ]
+    | Free { tool; addr } -> [ ("tool", Json.Str tool); ("addr", Json.Int addr) ]
+    | Access { tool; addr; width; path } ->
+      [
+        ("tool", Json.Str tool); ("addr", Json.Int addr);
+        ("width", Json.Int width); ("path", Json.Str (path_name path));
+      ]
+    | Shadow_load { tool; count } ->
+      [ ("tool", Json.Str tool); ("count", Json.Int count) ]
+    | Cache_hit { tool; off } ->
+      [ ("tool", Json.Str tool); ("off", Json.Int off) ]
+    | Cache_update { tool; ub } ->
+      [ ("tool", Json.Str tool); ("ub", Json.Int ub) ]
+    | Region_check { tool; lo; hi; path; loads } ->
+      [
+        ("tool", Json.Str tool); ("lo", Json.Int lo); ("hi", Json.Int hi);
+        ("path", Json.Str (path_name path)); ("loads", Json.Int loads);
+      ]
+    | Report { tool; kind; addr } ->
+      [
+        ("tool", Json.Str tool); ("kind", Json.Str kind);
+        ("addr", Json.Int addr);
+      ]
+    | Phase_begin { name } -> [ ("name", Json.Str name) ]
+    | Phase_end { name } -> [ ("name", Json.Str name) ]
+  in
+  Json.Obj
+    (("seq", Json.Int seq) :: ("ev", Json.Str (name ev)) :: fields)

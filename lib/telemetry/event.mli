@@ -1,0 +1,37 @@
+(** Typed trace events. One constructor per observable runtime action;
+    every event carries the emitting tool's name so a multi-tool replay
+    interleaves cleanly in one stream. Events carry no timestamps — the
+    stream is a pure function of the executed scenario, which is what
+    makes same-seed traces byte-identical (the determinism the fuzzer's
+    divergence triage relies on). *)
+
+type path = Fast | Slow
+
+type t =
+  | Malloc of { tool : string; base : int; size : int; kind : string }
+  | Free of { tool : string; addr : int }
+  | Access of { tool : string; addr : int; width : int; path : path }
+  | Shadow_load of { tool : string; count : int }
+  | Cache_hit of { tool : string; off : int }
+  | Cache_update of { tool : string; ub : int }
+  | Region_check of {
+      tool : string;
+      lo : int;
+      hi : int;
+      path : path;
+      loads : int;
+    }
+  | Report of { tool : string; kind : string; addr : int }
+  | Phase_begin of { name : string }
+  | Phase_end of { name : string }
+
+val name : t -> string
+(** The NDJSON ["ev"] tag: "malloc", "free", "access", "shadow_load",
+    "cache_hit", "cache_update", "region_check", "report", "phase_begin",
+    "phase_end". *)
+
+val path_name : path -> string
+
+val to_json : seq:int -> t -> Json.t
+(** One NDJSON line's worth: an object with ["seq"], ["ev"] and the
+    event's own fields. *)

@@ -1,0 +1,112 @@
+let ndjson_lines events =
+  List.map (fun (seq, ev) -> Json.to_string (Event.to_json ~seq ev)) events
+
+let trace_ndjson () = ndjson_lines (Trace.events ())
+
+let check_ndjson_line line =
+  match Json.parse line with
+  | Error e -> Error e
+  | Ok json -> (
+    match (Json.member "ev" json, Json.member "seq" json) with
+    | Some (Json.Str _), Some (Json.Int seq) when seq >= 0 -> Ok ()
+    | Some (Json.Str _), _ -> Error "missing or invalid \"seq\" field"
+    | _, _ -> Error "missing or invalid \"ev\" field")
+
+let check_ndjson text =
+  let lines = String.split_on_char '\n' text in
+  let rec go i count = function
+    | [] -> Ok count
+    | line :: rest ->
+      let line = String.trim line in
+      if line = "" then go (i + 1) count rest
+      else (
+        match check_ndjson_line line with
+        | Ok () -> go (i + 1) (count + 1) rest
+        | Error e -> Error (Printf.sprintf "line %d: %s" i e))
+  in
+  go 1 0 lines
+
+(* ------------------------------------------------------------------ *)
+
+let summary_json ?(spans = []) ?(tools = []) () =
+  let tool_json (name, counters, hists) =
+    Json.Obj
+      [
+        ("tool", Json.Str name);
+        ( "counters",
+          Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) counters) );
+        ("histograms", Histogram.set_to_json hists);
+      ]
+  in
+  Json.to_string
+    (Json.Obj
+       [
+         ("schema", Json.Str "giantsan-summary/v1");
+         ("tools", Json.List (List.map tool_json tools));
+         ("spans", Json.List (List.map Span.to_json spans));
+       ])
+
+(* ------------------------------------------------------------------ *)
+
+type bench_profile = {
+  bp_profile : string;
+  bp_config : string;
+  bp_sim_ns : float;
+  bp_ops : int;
+  bp_shadow_loads : int;
+  bp_region_checks : int;
+  bp_fast_checks : int;
+  bp_slow_checks : int;
+}
+
+let bench_json ~groups ~profiles ?(spans = []) () =
+  let group_json (name, rows) =
+    Json.Obj
+      [
+        ("name", Json.Str name);
+        ( "results",
+          Json.List
+            (List.map
+               (fun (test, ns) ->
+                 Json.Obj
+                   [ ("name", Json.Str test); ("ns_per_run", Json.Float ns) ])
+               rows) );
+      ]
+  in
+  let profile_json p =
+    let checks = p.bp_region_checks in
+    let fast_ratio =
+      if checks = 0 then 0.0
+      else float_of_int p.bp_fast_checks /. float_of_int checks
+    in
+    Json.Obj
+      [
+        ("profile", Json.Str p.bp_profile);
+        ("config", Json.Str p.bp_config);
+        ("sim_ns", Json.Float p.bp_sim_ns);
+        ("ops", Json.Int p.bp_ops);
+        ( "ns_per_op",
+          Json.Float
+            (if p.bp_ops = 0 then 0.0
+             else p.bp_sim_ns /. float_of_int p.bp_ops) );
+        ("shadow_loads", Json.Int p.bp_shadow_loads);
+        ("region_checks", Json.Int checks);
+        ("fast_checks", Json.Int p.bp_fast_checks);
+        ("slow_checks", Json.Int p.bp_slow_checks);
+        ("fast_path_ratio", Json.Float fast_ratio);
+      ]
+  in
+  Json.to_string
+    (Json.Obj
+       [
+         ("schema", Json.Str "giantsan-bench/v1");
+         ("groups", Json.List (List.map group_json groups));
+         ("profiles", Json.List (List.map profile_json profiles));
+         ("spans", Json.List (List.map Span.to_json spans));
+       ])
+
+let write_file path body =
+  let oc = open_out path in
+  output_string oc body;
+  output_char oc '\n';
+  close_out oc

@@ -1,0 +1,57 @@
+(** Exporters: turn the in-memory telemetry (trace ring, counters,
+    histograms, spans, bench rows) into NDJSON / JSON files, plus the
+    line-by-line NDJSON checker the CI gate runs over every dump. *)
+
+val ndjson_lines : (int * Event.t) list -> string list
+(** One compact JSON object per event, in order. *)
+
+val trace_ndjson : unit -> string list
+(** [ndjson_lines] of the current global sink contents. *)
+
+val check_ndjson_line : string -> (unit, string) result
+(** A valid trace line is one JSON object with an ["ev"] string field and
+    a non-negative ["seq"] int field. *)
+
+val check_ndjson : string -> (int, string) result
+(** Validate a whole NDJSON document (empty lines allowed); returns the
+    number of event lines or the first error, prefixed with its line
+    number. *)
+
+(** {1 summary.json} *)
+
+val summary_json :
+  ?spans:Span.t list ->
+  ?tools:(string * (string * int) list * Histogram.set) list ->
+  unit ->
+  string
+(** Metrics snapshot: per-tool aggregated counters and histograms plus the
+    completed spans. [tools] entries are (tool name, counters assoc,
+    histogram set). *)
+
+(** {1 BENCH_giantsan.json} *)
+
+type bench_profile = {
+  bp_profile : string;
+  bp_config : string;
+  bp_sim_ns : float;  (** simulated ns for the whole profile run *)
+  bp_ops : int;
+  bp_shadow_loads : int;
+  bp_region_checks : int;
+  bp_fast_checks : int;
+  bp_slow_checks : int;
+}
+
+val bench_json :
+  groups:(string * (string * float) list) list ->
+  profiles:bench_profile list ->
+  ?spans:Span.t list ->
+  unit ->
+  string
+(** The BENCH_giantsan.json document: wall-clock ns/run per bechamel test
+    (grouped), per-profile simulated cost with ns/op, shadow loads and
+    fast-path ratio, and optional spans. Schema documented in
+    EXPERIMENTS.md. *)
+
+val write_file : string -> string -> unit
+(** [write_file path body] truncates and writes (with a trailing
+    newline). *)

@@ -1,0 +1,23 @@
+(** A minimal JSON value, printer and parser — just enough to write the
+    telemetry exports and validate them back, with no external dependency.
+    The printer escapes strings per RFC 8259; the parser accepts the full
+    grammar (objects, arrays, strings with escapes, numbers, literals). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering — one call per NDJSON line. *)
+
+val parse : string -> (t, string) result
+(** Parse exactly one JSON document; trailing non-whitespace is an error.
+    Numbers without [.], [e] or [E] parse as [Int]. *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on anything else or a missing key. *)

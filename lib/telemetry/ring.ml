@@ -1,0 +1,36 @@
+type 'a t = {
+  slots : 'a option array;
+  mutable next : int;  (* slot the next push writes to *)
+  mutable pushed : int;
+}
+
+let create ~capacity =
+  assert (capacity >= 1);
+  { slots = Array.make capacity None; next = 0; pushed = 0 }
+
+let capacity t = Array.length t.slots
+let pushed t = t.pushed
+let length t = min t.pushed (Array.length t.slots)
+let dropped t = t.pushed - length t
+
+let push t x =
+  t.slots.(t.next) <- Some x;
+  t.next <- (t.next + 1) mod Array.length t.slots;
+  t.pushed <- t.pushed + 1
+
+let clear t =
+  Array.fill t.slots 0 (Array.length t.slots) None;
+  t.next <- 0;
+  t.pushed <- 0
+
+let to_seq_list t =
+  let n = length t in
+  let cap = Array.length t.slots in
+  let first_slot = (t.next - n + cap) mod cap in
+  let first_seq = t.pushed - n in
+  List.init n (fun i ->
+      match t.slots.((first_slot + i) mod cap) with
+      | Some x -> (first_seq + i, x)
+      | None -> assert false)
+
+let to_list t = List.map snd (to_seq_list t)

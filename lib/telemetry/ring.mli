@@ -1,0 +1,30 @@
+(** Bounded ring buffer: the event tracer's backing store. Pushing past
+    capacity silently overwrites the oldest entries, so a long run keeps
+    the trailing window of its trace and never grows without bound. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Requires [capacity >= 1]. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+(** Entries currently held, [<= capacity]. *)
+
+val pushed : 'a t -> int
+(** Total entries ever pushed (monotonic, survives wraparound). *)
+
+val dropped : 'a t -> int
+(** [pushed - length]: entries lost to wraparound. *)
+
+val push : 'a t -> 'a -> unit
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** Oldest retained entry first. *)
+
+val to_seq_list : 'a t -> (int * 'a) list
+(** Like [to_list] but each entry is paired with its global sequence
+    number (the index it was pushed at, counting from 0 and unaffected by
+    wraparound). *)

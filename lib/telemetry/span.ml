@@ -1,0 +1,39 @@
+type t = {
+  sp_name : string;
+  sp_wall_ns : int;
+  sp_minor_words : float;
+  sp_major_words : float;
+}
+
+let log : t list ref = ref []
+
+let with_span name f =
+  Trace.emit_phase_begin ~name;
+  let t0 = Unix.gettimeofday () in
+  let g0 = Gc.quick_stat () in
+  Fun.protect
+    ~finally:(fun () ->
+      let t1 = Unix.gettimeofday () in
+      let g1 = Gc.quick_stat () in
+      log :=
+        {
+          sp_name = name;
+          sp_wall_ns = int_of_float ((t1 -. t0) *. 1e9);
+          sp_minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
+          sp_major_words = g1.Gc.major_words -. g0.Gc.major_words;
+        }
+        :: !log;
+      Trace.emit_phase_end ~name)
+    f
+
+let completed () = List.rev !log
+let reset () = log := []
+
+let to_json t =
+  Json.Obj
+    [
+      ("name", Json.Str t.sp_name);
+      ("wall_ns", Json.Int t.sp_wall_ns);
+      ("minor_words", Json.Float t.sp_minor_words);
+      ("major_words", Json.Float t.sp_major_words);
+    ]

@@ -1,0 +1,26 @@
+(** Span-based phase profiling: wrap an experiment stage in [with_span]
+    and the wall-clock duration plus GC allocation deltas are recorded
+    into a process-wide log, with matching [Phase_begin]/[Phase_end]
+    events in the trace when the sink is on.
+
+    Span records carry real timestamps and therefore never enter the
+    deterministic NDJSON trace — they are exported only through
+    [summary.json] / [BENCH_giantsan.json], where run-to-run variation is
+    expected. *)
+
+type t = {
+  sp_name : string;
+  sp_wall_ns : int;  (** wall-clock duration *)
+  sp_minor_words : float;  (** minor-heap words allocated inside the span *)
+  sp_major_words : float;
+}
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** Nesting is fine; each span records independently. The record is kept
+    even when the thunk raises. *)
+
+val completed : unit -> t list
+(** All spans closed so far, in completion order. *)
+
+val reset : unit -> unit
+val to_json : t -> Json.t

@@ -1,0 +1,70 @@
+let default_capacity = 65536
+let on = ref false
+let buf = ref (Ring.create ~capacity:default_capacity)
+
+let is_on () = !on
+
+let enable ?(capacity = default_capacity) () =
+  buf := Ring.create ~capacity;
+  on := true
+
+let disable () = on := false
+let clear () = Ring.clear !buf
+let events () = Ring.to_seq_list !buf
+let emitted () = Ring.pushed !buf
+let dropped () = Ring.dropped !buf
+
+let with_capture ?(capacity = default_capacity) f =
+  let saved_on = !on and saved_buf = !buf in
+  buf := Ring.create ~capacity;
+  on := true;
+  Fun.protect
+    ~finally:(fun () ->
+      on := saved_on;
+      buf := saved_buf)
+    (fun () ->
+      let r = f () in
+      (r, Ring.to_seq_list !buf))
+
+(* Each emitter checks the switch before constructing the event, so the
+   disabled path performs no allocation. *)
+
+let emit_malloc ~tool ~base ~size ~kind =
+  if !on then Ring.push !buf (Event.Malloc { tool; base; size; kind })
+
+let emit_free ~tool ~addr =
+  if !on then Ring.push !buf (Event.Free { tool; addr })
+
+let emit_access ~tool ~addr ~width ~fast =
+  if !on then
+    Ring.push !buf
+      (Event.Access
+         { tool; addr; width; path = (if fast then Event.Fast else Event.Slow) })
+
+let emit_shadow_load ~tool ~count =
+  if !on then Ring.push !buf (Event.Shadow_load { tool; count })
+
+let emit_cache_hit ~tool ~off =
+  if !on then Ring.push !buf (Event.Cache_hit { tool; off })
+
+let emit_cache_update ~tool ~ub =
+  if !on then Ring.push !buf (Event.Cache_update { tool; ub })
+
+let emit_region_check ~tool ~lo ~hi ~fast ~loads =
+  if !on then
+    Ring.push !buf
+      (Event.Region_check
+         {
+           tool; lo; hi;
+           path = (if fast then Event.Fast else Event.Slow);
+           loads;
+         })
+
+let emit_report ~tool ~kind ~addr =
+  if !on then Ring.push !buf (Event.Report { tool; kind; addr })
+
+let emit_phase_begin ~name =
+  if !on then Ring.push !buf (Event.Phase_begin { name })
+
+let emit_phase_end ~name =
+  if !on then Ring.push !buf (Event.Phase_end { name })

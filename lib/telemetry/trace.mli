@@ -1,0 +1,49 @@
+(** The global event sink: one process-wide bounded ring the runtimes emit
+    into. Disabled by default, and the disabled path is a no-op that
+    allocates nothing — the [emit_*] entry points take their payloads as
+    immediate arguments and only build the event value once the switch has
+    been checked, so an instrumented hot loop pays a single load-and-branch
+    when tracing is off (verified by the zero-allocation test).
+
+    The same switch gates histogram observation in the runtimes: when
+    [is_on] is false the sanitizers run exactly the pre-telemetry code
+    paths. *)
+
+val is_on : unit -> bool
+
+val enable : ?capacity:int -> unit -> unit
+(** Turn the sink on with a fresh ring ([capacity] defaults to 65536
+    events; older events are overwritten past that). *)
+
+val disable : unit -> unit
+val clear : unit -> unit
+
+val events : unit -> (int * Event.t) list
+(** Retained events, oldest first, each with its global sequence number. *)
+
+val emitted : unit -> int
+(** Total events emitted since [enable]/[clear] (monotonic through
+    wraparound). *)
+
+val dropped : unit -> int
+
+val with_capture : ?capacity:int -> (unit -> 'a) -> 'a * (int * Event.t) list
+(** Run the thunk with tracing on in a private fresh ring, restoring the
+    previous sink state afterwards (even on exceptions), and return the
+    thunk's result with the captured events. *)
+
+(** {1 Emission points} — free functions so call sites stay one line. *)
+
+val emit_malloc : tool:string -> base:int -> size:int -> kind:string -> unit
+val emit_free : tool:string -> addr:int -> unit
+val emit_access : tool:string -> addr:int -> width:int -> fast:bool -> unit
+val emit_shadow_load : tool:string -> count:int -> unit
+val emit_cache_hit : tool:string -> off:int -> unit
+val emit_cache_update : tool:string -> ub:int -> unit
+
+val emit_region_check :
+  tool:string -> lo:int -> hi:int -> fast:bool -> loads:int -> unit
+
+val emit_report : tool:string -> kind:string -> addr:int -> unit
+val emit_phase_begin : name:string -> unit
+val emit_phase_end : name:string -> unit

@@ -67,6 +67,28 @@ let test_add_does_not_mutate_rhs =
       Counters.add acc b;
       snapshot b = before)
 
+(* [total_checks] counts each check event once: instruction checks, region
+   checks (fast/slow only partition those, so they must NOT be added on
+   top), cache consultations and bound-table checks. Derived through the
+   metric spec, so a new field can't silently join or leave the sum. *)
+let test_total_checks_definition =
+  Helpers.q "total_checks sums exactly the five check counters" arb_counters
+    (fun c ->
+      let a = Counters.to_assoc c in
+      let v k = List.assoc k a in
+      Counters.total_checks c
+      = v "instr_checks" + v "region_checks" + v "cache_hits"
+        + v "cache_updates" + v "bounds_checks")
+
+let test_spec_matches_assoc =
+  Helpers.q "the metric spec and to_assoc agree field by field" arb_counters
+    (fun c ->
+      let module Metric = Giantsan_telemetry.Metric in
+      Counters.to_assoc c
+      = List.map
+          (fun name -> (name, Metric.get Counters.spec name c))
+          (Metric.names Counters.spec))
+
 let violations =
   [
     Difftest.V_overflow; Difftest.V_underflow; Difftest.V_far_jump;
@@ -110,5 +132,7 @@ let suite =
       test_add_associative;
       test_reset_is_identity;
       test_add_does_not_mutate_rhs;
+      test_total_checks_definition;
+      test_spec_matches_assoc;
       test_fast_slow_partition;
     ] )

@@ -22,6 +22,7 @@ let () =
       Test_progfuzz.suite;
       Test_coverage.suite;
       Test_counters.suite;
+      Test_telemetry.suite;
       Test_folding_props.suite;
       Test_fuzz.suite;
     ]

@@ -1,0 +1,259 @@
+(* The telemetry subsystem's own invariants: ring wraparound arithmetic,
+   the histogram merge monoid, JSON printing/parsing, byte-identical trace
+   determinism, and the zero-allocation guarantee of the disabled path. *)
+
+module Ring = Giantsan_telemetry.Ring
+module Json = Giantsan_telemetry.Json
+module Histogram = Giantsan_telemetry.Histogram
+module Trace = Giantsan_telemetry.Trace
+module Export = Giantsan_telemetry.Export
+module Corpus = Giantsan_fuzz.Corpus
+module Exec = Giantsan_fuzz.Exec
+
+(* ------------------------------------------------------------------ *)
+(* Ring                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_ring_wraparound =
+  Helpers.qt "wraparound keeps the trailing window" `Quick (fun () ->
+      let r = Ring.create ~capacity:4 in
+      for i = 0 to 9 do
+        Ring.push r i
+      done;
+      Alcotest.(check (list int)) "retained" [ 6; 7; 8; 9 ] (Ring.to_list r);
+      Alcotest.(check int) "pushed" 10 (Ring.pushed r);
+      Alcotest.(check int) "dropped" 6 (Ring.dropped r);
+      Alcotest.(check int) "length" 4 (Ring.length r);
+      Alcotest.(check (list (pair int int)))
+        "global sequence numbers survive wraparound"
+        [ (6, 6); (7, 7); (8, 8); (9, 9) ]
+        (Ring.to_seq_list r);
+      Ring.clear r;
+      Alcotest.(check (list int)) "clear empties" [] (Ring.to_list r))
+
+let test_ring_under_capacity =
+  Helpers.qt "no wraparound below capacity" `Quick (fun () ->
+      let r = Ring.create ~capacity:8 in
+      List.iter (Ring.push r) [ 1; 2; 3 ];
+      Alcotest.(check (list int)) "all retained" [ 1; 2; 3 ] (Ring.to_list r);
+      Alcotest.(check int) "dropped" 0 (Ring.dropped r))
+
+let test_ring_property =
+  Helpers.q "ring always holds the last min(pushed,capacity) entries"
+    QCheck.(pair (int_range 1 16) (small_list small_int))
+    (fun (capacity, xs) ->
+      let r = Ring.create ~capacity in
+      List.iter (Ring.push r) xs;
+      let n = List.length xs in
+      let keep = min n capacity in
+      let expected = List.filteri (fun i _ -> i >= n - keep) xs in
+      Ring.to_list r = expected
+      && Ring.pushed r = n
+      && Ring.dropped r = n - keep)
+
+(* ------------------------------------------------------------------ *)
+(* Histogram                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_bucket_boundaries =
+  Helpers.qt "log2 bucket boundaries" `Quick (fun () ->
+      let cases =
+        [
+          (-5, 0); (0, 0); (1, 1); (2, 2); (3, 2); (4, 3); (7, 3); (8, 4);
+          (1023, 10); (1024, 11);
+        ]
+      in
+      List.iter
+        (fun (v, b) ->
+          Alcotest.(check int)
+            (Printf.sprintf "bucket_of_value %d" v)
+            b
+            (Histogram.bucket_of_value v))
+        cases;
+      (* bucket_lo is a left inverse on bucket starts *)
+      for b = 0 to 20 do
+        Alcotest.(check int)
+          (Printf.sprintf "bucket_of_value (bucket_lo %d)" b)
+          b
+          (Histogram.bucket_of_value (Histogram.bucket_lo b))
+      done)
+
+let hist_of_observations obs =
+  let h = Histogram.create "h" in
+  List.iter (Histogram.observe h) obs;
+  h
+
+let arb_hist =
+  QCheck.make
+    ~print:(fun obs ->
+      Format.asprintf "%a" Histogram.pp (hist_of_observations obs))
+    QCheck.Gen.(small_list (int_bound 100_000))
+
+let test_hist_merge_commutative =
+  Helpers.q "merge is commutative"
+    QCheck.(pair arb_hist arb_hist)
+    (fun (a, b) ->
+      let a = hist_of_observations a and b = hist_of_observations b in
+      Histogram.equal (Histogram.merge a b) (Histogram.merge b a))
+
+let test_hist_merge_associative =
+  Helpers.q "merge is associative"
+    QCheck.(triple arb_hist arb_hist arb_hist)
+    (fun (a, b, c) ->
+      let a = hist_of_observations a
+      and b = hist_of_observations b
+      and c = hist_of_observations c in
+      Histogram.equal
+        (Histogram.merge (Histogram.merge a b) c)
+        (Histogram.merge a (Histogram.merge b c)))
+
+let test_hist_merge_identity =
+  Helpers.q "empty histogram is the identity of merge" arb_hist (fun a ->
+      let a = hist_of_observations a in
+      let zero = Histogram.create "h" in
+      Histogram.equal (Histogram.merge a zero) a
+      && Histogram.equal (Histogram.merge zero a) a)
+
+let test_hist_merge_counts =
+  Helpers.q "merge sums counts, sums and maxima"
+    QCheck.(pair arb_hist arb_hist)
+    (fun (xa, xb) ->
+      let a = hist_of_observations xa and b = hist_of_observations xb in
+      let m = Histogram.merge a b in
+      Histogram.count m = Histogram.count a + Histogram.count b
+      && Histogram.sum m = Histogram.sum a + Histogram.sum b
+      && Histogram.max_value m = max (Histogram.max_value a) (Histogram.max_value b))
+
+let test_hist_name_mismatch =
+  Helpers.qt "merge rejects mismatched names" `Quick (fun () ->
+      let a = Histogram.create "a" and b = Histogram.create "b" in
+      Alcotest.check_raises "name mismatch"
+        (Invalid_argument "Histogram.merge: a vs b") (fun () ->
+          ignore (Histogram.merge a b)))
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_roundtrip =
+  Helpers.qt "print/parse round-trip" `Quick (fun () ->
+      let v =
+        Json.Obj
+          [
+            ("s", Json.Str "a \"quoted\"\n\tstring");
+            ("i", Json.Int (-42));
+            ("f", Json.Float 2.5);
+            ("b", Json.Bool true);
+            ("n", Json.Null);
+            ("l", Json.List [ Json.Int 1; Json.Str "x"; Json.Obj [] ]);
+          ]
+      in
+      match Json.parse (Json.to_string v) with
+      | Ok v' -> Alcotest.(check bool) "round-trips" true (v = v')
+      | Error e -> Alcotest.fail e)
+
+let test_json_rejects =
+  Helpers.qt "parser rejects malformed input" `Quick (fun () ->
+      List.iter
+        (fun text ->
+          match Json.parse text with
+          | Ok _ -> Alcotest.fail (Printf.sprintf "accepted %S" text)
+          | Error _ -> ())
+        [ ""; "{"; "[1,]"; "{\"a\":}"; "{} trailing"; "nul"; "\"open" ])
+
+let test_json_nonfinite =
+  Helpers.qt "non-finite floats render as null" `Quick (fun () ->
+      Alcotest.(check string)
+        "nan" "[null,null,1.5]"
+        (Json.to_string
+           (Json.List [ Json.Float nan; Json.Float infinity; Json.Float 1.5 ])))
+
+(* ------------------------------------------------------------------ *)
+(* Trace determinism and NDJSON validity                               *)
+(* ------------------------------------------------------------------ *)
+
+let load_scn path =
+  match Corpus.load_file path with
+  | Ok sc -> sc
+  | Error e -> Alcotest.fail (path ^ ": " ^ e)
+
+let regression = "corpus/regressions/uaf_then_double_free.scn"
+
+let test_trace_deterministic =
+  Helpers.qt "same scenario twice => byte-identical NDJSON" `Quick (fun () ->
+      let sc = load_scn regression in
+      let t1 = Exec.capture_trace sc and t2 = Exec.capture_trace sc in
+      Alcotest.(check bool) "non-empty" true (t1 <> []);
+      Alcotest.(check (list string)) "identical" t1 t2)
+
+let test_trace_covers_all_tools =
+  Helpers.qt "the trace carries events from every tool" `Quick (fun () ->
+      let sc = load_scn regression in
+      let text = String.concat "\n" (Exec.capture_trace sc) in
+      List.iter
+        (fun tool ->
+          let needle = Printf.sprintf "\"tool\":%s" (Json.to_string (Json.Str tool)) in
+          let found =
+            let nl = String.length needle and tl = String.length text in
+            let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+            go 0
+          in
+          Alcotest.(check bool) tool true found)
+        [ "GiantSan"; "ASan"; "ASan--"; "LFP" ])
+
+let test_trace_lines_valid_ndjson =
+  Helpers.qt "every captured line passes the NDJSON checker" `Quick (fun () ->
+      let sc = load_scn regression in
+      let lines = Exec.capture_trace sc in
+      match Export.check_ndjson (String.concat "\n" lines) with
+      | Ok n -> Alcotest.(check int) "all lines counted" (List.length lines) n
+      | Error e -> Alcotest.fail e)
+
+let test_with_capture_restores =
+  Helpers.qt "with_capture restores the previous sink state" `Quick (fun () ->
+      Alcotest.(check bool) "off before" false (Trace.is_on ());
+      let (), events =
+        Trace.with_capture (fun () ->
+            Trace.emit_free ~tool:"t" ~addr:1;
+            Alcotest.(check bool) "on inside" true (Trace.is_on ()))
+      in
+      Alcotest.(check int) "captured" 1 (List.length events);
+      Alcotest.(check bool) "off after" false (Trace.is_on ()))
+
+let test_disabled_path_allocates_nothing =
+  Helpers.qt "disabled emitters allocate nothing" `Quick (fun () ->
+      Trace.disable ();
+      (* warm up so the closure itself is built *)
+      Trace.emit_access ~tool:"t" ~addr:0 ~width:8 ~fast:true;
+      let before = Gc.minor_words () in
+      for i = 1 to 100_000 do
+        Trace.emit_access ~tool:"t" ~addr:i ~width:8 ~fast:true;
+        Trace.emit_region_check ~tool:"t" ~lo:0 ~hi:i ~fast:true ~loads:0;
+        Trace.emit_malloc ~tool:"t" ~base:i ~size:8 ~kind:"heap"
+      done;
+      let delta = Gc.minor_words () -. before in
+      if delta > 256.0 then
+        Alcotest.fail
+          (Printf.sprintf "disabled emit path allocated %.0f words" delta))
+
+let suite =
+  ( "telemetry",
+    [
+      test_ring_wraparound;
+      test_ring_under_capacity;
+      test_ring_property;
+      test_bucket_boundaries;
+      test_hist_merge_commutative;
+      test_hist_merge_associative;
+      test_hist_merge_identity;
+      test_hist_merge_counts;
+      test_hist_name_mismatch;
+      test_json_roundtrip;
+      test_json_rejects;
+      test_json_nonfinite;
+      test_trace_deterministic;
+      test_trace_covers_all_tools;
+      test_trace_lines_valid_ndjson;
+      test_with_capture_restores;
+      test_disabled_path_allocates_nothing;
+    ] )
