@@ -203,6 +203,9 @@ let micro_group =
       Test.make ~name:"fold/poison-1000-segments"
         (Staged.stage (fun () ->
              Folding.poison_good_run m ~first_seg:0 ~count:1000));
+      Test.make ~name:"fold/poison-1000-segments-scalar"
+        (Staged.stage (fun () ->
+             Folding.poison_good_run_scalar m ~first_seg:0 ~count:1000));
       Test.make ~name:"fold/ci-fast"
         (Staged.stage (fun () -> ignore (RC.check m ~l:0 ~r:1024)));
       Test.make ~name:"fold/ci-slow"
@@ -296,7 +299,7 @@ let run_group test =
 (* --telemetry [FILE]: BENCH_giantsan.json (schema in EXPERIMENTS.md)  *)
 (* ------------------------------------------------------------------ *)
 
-(* Bechamel has no CLI layer, so the flag is a plain argv scan. *)
+(* Bechamel has no CLI layer, so the flags are a plain argv scan. *)
 let telemetry_path =
   let argv = Sys.argv in
   let n = Array.length argv in
@@ -309,6 +312,12 @@ let telemetry_path =
     else scan (i + 1)
   in
   scan 1
+
+(* --profiles-only skips the wall-clock bechamel groups and runs just the
+   deterministic profile sweep — what the CI perf gate compares against the
+   committed baseline (wall-clock numbers vary per machine and are not
+   gated, so CI need not pay for them). *)
+let profiles_only = Array.exists (( = ) "--profiles-only") Sys.argv
 
 (* Per-profile simulated cost under every sanitizer configuration, at a
    reduced scale so the sweep stays in seconds. LFP's compile-error
@@ -330,6 +339,7 @@ let profile_stats () =
                 bp_sim_ns = r.Runner.r_sim_ns;
                 bp_ops = r.Runner.r_ops;
                 bp_shadow_loads = r.Runner.r_shadow_loads;
+                bp_shadow_stores = r.Runner.r_shadow_stores;
                 bp_region_checks = c.Counters.region_checks;
                 bp_fast_checks = c.Counters.fast_checks;
                 bp_slow_checks = c.Counters.slow_checks;
@@ -341,13 +351,15 @@ let () =
   print_endline "GiantSan reproduction benchmarks (Bechamel)";
   print_endline "===========================================";
   let group_rows =
-    List.map
-      (fun g ->
-        let name = Test.name g in
-        Printf.printf "\n[%s]\n" name;
-        Telemetry.Span.with_span ("bench:" ^ name) (fun () ->
-            (name, run_group g)))
-      groups
+    if profiles_only then []
+    else
+      List.map
+        (fun g ->
+          let name = Test.name g in
+          Printf.printf "\n[%s]\n" name;
+          Telemetry.Span.with_span ("bench:" ^ name) (fun () ->
+              (name, run_group g)))
+        groups
   in
   match telemetry_path with
   | None -> ()

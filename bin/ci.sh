@@ -1,6 +1,7 @@
 #!/bin/sh
-# CI gate: build, tests, regression-corpus replay, and a fixed-seed fuzz
-# smoke including a byte-identical determinism check of two runs.
+# CI gate: build, tests, regression-corpus replay, a fixed-seed fuzz
+# smoke including a byte-identical determinism check of two runs, and the
+# performance regression gate against the committed bench baseline.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -46,5 +47,14 @@ if ! cmp -s "$tmpdir/trace1.ndjson" "$tmpdir/trace2.ndjson"; then
   exit 1
 fi
 echo "byte-identical traces across two runs"
+
+echo "== perf gate (vs BENCH_giantsan.json baseline) =="
+# The deterministic profile sweep only: event counts must reproduce the
+# committed baseline exactly, ns/op within ±25%. Wall-clock bechamel
+# groups vary per machine and are not gated (see EXPERIMENTS.md for the
+# comparison rules and how to re-baseline intentionally).
+dune exec bench/main.exe -- --profiles-only --telemetry "$tmpdir/bench.json" \
+  > /dev/null
+dune exec bin/main.exe -- bench-compare BENCH_giantsan.json "$tmpdir/bench.json"
 
 echo "== ci green =="

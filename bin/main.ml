@@ -282,6 +282,63 @@ let check_ndjson_cmd =
               1))
       $ file)
 
+let bench_compare_cmd =
+  let doc =
+    "Performance regression gate: compare a fresh BENCH_giantsan.json \
+     against the committed baseline. Deterministic event counts (ops, \
+     shadow loads/stores, region/fast/slow checks) must match exactly; \
+     per-profile ns/op may drift within $(b,--tolerance). Wall-clock \
+     bechamel groups are not gated. Exits non-zero on any violation."
+  in
+  let baseline =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BASELINE" ~doc:"Committed baseline JSON.")
+  in
+  let current =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"CURRENT" ~doc:"Freshly generated bench JSON.")
+  in
+  let tolerance =
+    Arg.(
+      value & opt float 0.25
+      & info [ "tolerance" ] ~docv:"FRAC"
+          ~doc:"Relative ns/op tolerance (0.25 = ±25%).")
+  in
+  Cmd.v
+    (Cmd.info "bench-compare" ~doc)
+    Term.(
+      const (fun baseline current tolerance ->
+          let read path =
+            match In_channel.with_open_text path In_channel.input_all with
+            | exception Sys_error e ->
+              Printf.eprintf "bench-compare: %s\n" e;
+              None
+            | text -> Some text
+          in
+          match (read baseline, read current) with
+          | None, _ | _, None -> 1
+          | Some b, Some c -> (
+            match
+              Giantsan_telemetry.Export.compare_bench ~tolerance ~baseline:b
+                ~current:c
+            with
+            | Ok n ->
+              Printf.printf
+                "perf gate OK: %d profile rows within ±%.0f%% ns/op, all \
+                 event counts exact\n"
+                n (tolerance *. 100.0);
+              0
+            | Error failures ->
+              Printf.eprintf "perf gate FAILED (%d violation(s)):\n"
+                (List.length failures);
+              List.iter (Printf.eprintf "  %s\n") failures;
+              1))
+      $ baseline $ current $ tolerance)
+
 let validate_cmd =
   let doc = "Re-validate the ground-truth labels of every generated corpus." in
   Cmd.v (Cmd.info "validate" ~doc)
@@ -302,7 +359,7 @@ let () =
   in
   let cmds =
     all_cmd :: extras_cmd :: fuzz_cmd :: fuzz_matrix_cmd :: replay_cmd
-    :: trace_cmd :: check_ndjson_cmd :: validate_cmd
+    :: trace_cmd :: check_ndjson_cmd :: bench_compare_cmd :: validate_cmd
     :: List.map
          (fun id -> experiment_cmd id id)
          (Giantsan_report.Experiments.all_ids

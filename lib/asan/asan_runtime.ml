@@ -117,6 +117,7 @@ let create_exposed_named name config =
     counters;
     hists;
     shadow_loads = (fun () -> Shadow_mem.loads m);
+    shadow_stores = (fun () -> Shadow_mem.stores m);
     malloc;
     free;
     access;

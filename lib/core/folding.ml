@@ -8,7 +8,7 @@ let degree_at ~good_segments =
 
 let misfold_for_testing = ref false
 
-let poison_good_run m ~first_seg ~count =
+let poison_good_run_scalar m ~first_seg ~count =
   (* Incremental floor-log2: walking j upward, [remaining = count - j]
      decreases by one each step, so the degree drops exactly when
      [remaining] falls below the current power of two. This keeps the whole
@@ -32,6 +32,46 @@ let poison_good_run m ~first_seg ~count =
       Shadow_mem.set m seg (State_code.folded degree);
       decr remaining
     done
+  end
+
+(* The degree sequence of a run of [G] good segments is a pure function of
+   [G]: position j carries [degree_at (G - j)]. Moreover the sequence for
+   [G] is a suffix of the sequence for any [N >= G] — both end in
+   ..., degree_at 2, degree_at 1. So one memoized byte template (rebuilt
+   only when a run outgrows it, to the next power of two) serves every run:
+   poisoning becomes a single [Bytes.blit] of its last [G] bytes instead of
+   [G] counted stores. *)
+let template = ref Bytes.empty
+
+let template_for count =
+  if Bytes.length !template < count then begin
+    let n = Bitops.pow2 (Bitops.log2_ceil count) in
+    let t = Bytes.create n in
+    let d = ref (degree_at ~good_segments:n) in
+    for j = 0 to n - 1 do
+      let remaining = n - j in
+      while remaining < 1 lsl !d do
+        decr d
+      done;
+      Bytes.unsafe_set t j (Char.unsafe_chr (State_code.folded !d))
+    done;
+    template := t
+  end;
+  !template
+
+let poison_good_run m ~first_seg ~count =
+  if count > 0 then begin
+    let tmpl = template_for count in
+    let pat_off = Bytes.length tmpl - count in
+    if !misfold_for_testing then begin
+      (* same shadow and same store count as the scalar kernel: the run
+         minus its last segment is template-blitted, then the overstated
+         final degree is one counted store *)
+      Shadow_mem.blit_pattern m ~lo:first_seg ~pattern:tmpl ~pat_off
+        ~len:(count - 1);
+      Shadow_mem.set m (first_seg + count - 1) (State_code.folded 1)
+    end
+    else Shadow_mem.blit_pattern m ~lo:first_seg ~pattern:tmpl ~pat_off ~len:count
   end
 
 let poison_alloc m (obj : Memobj.t) =
@@ -89,11 +129,15 @@ let lower_bound m ~addr =
   8 * try_jump start max_d
 
 let upper_bound m ~addr =
+  let arena_end = 8 * Shadow_mem.segments m in
   let rec skip seg =
     let v = Shadow_mem.load m seg in
     if State_code.is_folded v then begin
       let next = seg + (1 lsl State_code.degree v) in
-      if next * 8 >= Shadow_mem.segments m * 8 then (next * 8)
+      (* a fold near the tail may jump past the shadow end; nothing beyond
+         the arena is addressable, so the quasi-bound clamps there instead
+         of overshooting into non-existent segments *)
+      if next >= Shadow_mem.segments m then arena_end
       else skip next
     end
     else (seg * 8) + State_code.addressable_in_segment v

@@ -17,7 +17,20 @@ val degree_at : good_segments:int -> int
 val poison_good_run :
   Giantsan_shadow.Shadow_mem.t -> first_seg:int -> count:int -> unit
 (** Write the folded codes for a run of [count] good segments starting at
-    segment index [first_seg]. *)
+    segment index [first_seg]. The degree sequence depends only on [count]
+    (position [j] carries [degree_at (count - j)]) and is the suffix of one
+    shared sequence, so the codes come from a memoized byte template
+    (rebuilt per power-of-two bracket) and land in the shadow as a single
+    batched blit — same bytes and same store count as the scalar kernel,
+    without the per-segment loop. *)
+
+val poison_good_run_scalar :
+  Giantsan_shadow.Shadow_mem.t -> first_seg:int -> count:int -> unit
+(** The reference kernel: one counted store per segment, incremental
+    floor-log2. Semantically identical to [poison_good_run] (byte-identical
+    shadow, equal store counts, same [misfold_for_testing] behaviour) —
+    kept as the oracle for the equivalence property tests and the
+    microbenchmark comparison. *)
 
 val misfold_for_testing : bool ref
 (** Debug switch (default [false]): when set, [poison_good_run] deliberately
@@ -45,7 +58,9 @@ val upper_bound : Giantsan_shadow.Shadow_mem.t -> addr:int -> int
     non-addressable address at or after [addr]. At most
     [ceil (log2 (n/8))] folded-segment hops plus the final partial segment.
     Counts its shadow loads. Returns [addr] itself when [addr]'s segment
-    state proves nothing (error code at its segment). *)
+    state proves nothing (error code at its segment). The result is clamped
+    to the arena end ([8 * segments]): a fold near the tail whose jump
+    lands past the shadow never yields a quasi-bound beyond the arena. *)
 
 val lower_bound : Giantsan_shadow.Shadow_mem.t -> addr:int -> int
 (** The §5.4 mitigation for reverse traversals: locate the start of the

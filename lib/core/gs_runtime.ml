@@ -162,6 +162,7 @@ let create_exposed_variant ~name ~use_cache ~check_underflow config =
       counters;
       hists;
       shadow_loads = (fun () -> Shadow_mem.loads m);
+      shadow_stores = (fun () -> Shadow_mem.stores m);
       malloc;
       free;
       access;

@@ -3,10 +3,19 @@ module Memobj = Giantsan_memsim.Memobj
 
 let max_run = 63
 
+(* Every run ends in the same descending ramp max_run, .., 2, 1; positions
+   further than [max_run] from the end saturate at [max_run]. One fixed
+   ramp template plus a fill covers any run length in two batched writes. *)
+let ramp =
+  Bytes.init max_run (fun i -> Char.chr (max_run - i))
+
 let poison_good_run m ~first_seg ~count =
-  for j = 0 to count - 1 do
-    Shadow_mem.set m (first_seg + j) (min max_run (count - j))
-  done
+  if count > 0 then begin
+    let tail = min count max_run in
+    Shadow_mem.fill_range m ~lo:first_seg ~hi:(first_seg + count - tail) max_run;
+    Shadow_mem.blit_pattern m ~lo:(first_seg + count - tail) ~pattern:ramp
+      ~pat_off:(max_run - tail) ~len:tail
+  end
 
 let poison_alloc m (obj : Memobj.t) =
   let rz = State_code.redzone_code obj.kind in

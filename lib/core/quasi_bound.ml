@@ -23,11 +23,20 @@ let access m (c : Counters.t) (cache : San.cache) ~off ~width =
     | Region_check.Bad a -> Bad a
     | Region_check.Safe_fast | Region_check.Safe_slow ->
       if off + width > 0 then begin
-        let o2 = Region_check.check m ~l:base ~r:(base + off + width) in
-        count_region c o2;
-        match o2 with
-        | Region_check.Bad a -> Bad a
-        | Region_check.Safe_fast | Region_check.Safe_slow -> Ok_checked
+        (* the non-negative tail [base, base + off + width) is an ordinary
+           overflow-side region: the quasi-bound applies to it just as it
+           does on the positive path, so consult it before re-checking *)
+        if off + width <= cache.cache_ub then begin
+          c.cache_hits <- c.cache_hits + 1;
+          Ok_checked
+        end
+        else begin
+          let o2 = Region_check.check m ~l:base ~r:(base + off + width) in
+          count_region c o2;
+          match o2 with
+          | Region_check.Bad a -> Bad a
+          | Region_check.Safe_fast | Region_check.Safe_slow -> Ok_checked
+        end
       end
       else Ok_checked
   end

@@ -10,6 +10,10 @@
     Negative offsets get a dedicated underflow region check each time — the
     summary is single-sided, so there is no quasi-{e lower}-bound (the §5.4
     limitation, visible in the Figure 11 reverse-traversal experiment).
+    When such an access also spills past the base ([off < 0] and
+    [off + width > 0]), its non-negative tail is an ordinary overflow-side
+    region and the quasi-bound does apply to it: a tail inside [cache_ub]
+    skips the second region check and counts one cache hit.
 
     Deviation from the paper, documented in DESIGN.md: Figure 9 line 7 sets
     [ub = off + covered(v)] even when [base + off] sits mid-segment, which

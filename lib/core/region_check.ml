@@ -23,8 +23,11 @@ let check m ~l ~r =
         if 2 * u < r - l then bad := Some (l + u)
         else if Shadow_mem.load m ((r - u) / 8) <> v then
           (* suffix: a second folded segment of the same degree must cover
-             the tail *)
-          bad := Some (((r - u) / 8 * 8) + 7)
+             the tail. The blamed address is the end of the suffix segment,
+             clamped into the checked region: for small [u] the segment's
+             last byte can sit at or past [r], and an error report outside
+             [l, r) would point the user at bytes the access never touched. *)
+          bad := Some (min (r - 1) (((r - u) / 8 * 8) + 7))
       end;
       (if !bad = None then
          (* the final, possibly partial segment *)

@@ -104,6 +104,7 @@ let create config =
     counters;
     hists;
     shadow_loads = (fun () -> 0);
+    shadow_stores = (fun () -> 0);
     malloc;
     free;
     access;

@@ -9,6 +9,7 @@ let create config =
     counters;
     hists = Giantsan_telemetry.Histogram.create_set ();
     shadow_loads = (fun () -> 0);
+    shadow_stores = (fun () -> 0);
     malloc = (fun ?kind size -> Sanitizer.plain_malloc heap counters ?kind size);
     free =
       (fun ptr ->

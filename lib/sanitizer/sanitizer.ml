@@ -9,6 +9,7 @@ type t = {
   counters : Counters.t;
   hists : Histogram.set;
   shadow_loads : unit -> int;
+  shadow_stores : unit -> int;
   malloc : ?kind:Memsim.Memobj.kind -> int -> Memsim.Memobj.t;
   free : int -> Report.t option;
   access : base:int -> addr:int -> width:int -> Report.t option;

@@ -26,6 +26,9 @@ type t = {
           global telemetry switch ([Giantsan_telemetry.Trace]) is on *)
   shadow_loads : unit -> int;
       (** metadata loads performed so far (0 for tools without shadow) *)
+  shadow_stores : unit -> int;
+      (** metadata stores performed so far — the poisoning-side cost the
+          batched kernels are measured by (0 for tools without shadow) *)
   malloc : ?kind:Giantsan_memsim.Memobj.kind -> int -> Giantsan_memsim.Memobj.t;
   free : int -> Report.t option;
   access : base:int -> addr:int -> width:int -> Report.t option;

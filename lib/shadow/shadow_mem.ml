@@ -28,11 +28,32 @@ let set t p v =
   t.stores <- t.stores + 1;
   if p >= 0 && p < Bytes.length t.bytes then Bytes.set t.bytes p (Char.chr v)
 
+(* The batched kernels below clamp once, count the clamped length once, and
+   then run an unchecked fill/blit: the bounds checks are hoisted out of the
+   per-byte loop, which is what makes poisoning O(memset) rather than
+   O(stores-counter increments). Only bytes that actually land in the arena
+   are counted — the virtual space beyond it absorbs writes silently, and
+   counting them would overcharge the cost model (the fill_range drift bug). *)
+
 let fill_range t ~lo ~hi v =
   assert (lo <= hi && v >= 0 && v < 256);
-  t.stores <- t.stores + (hi - lo);
   let lo' = max 0 lo and hi' = min (Bytes.length t.bytes) hi in
-  if hi' > lo' then Bytes.fill t.bytes lo' (hi' - lo') (Char.chr v)
+  let len = hi' - lo' in
+  if len > 0 then begin
+    t.stores <- t.stores + len;
+    Bytes.unsafe_fill t.bytes lo' len (Char.chr v)
+  end
+
+let blit_pattern t ~lo ~pattern ~pat_off ~len =
+  assert (len >= 0 && pat_off >= 0 && pat_off + len <= Bytes.length pattern);
+  (* clamp [lo, lo + len) to the arena, sliding the pattern window along *)
+  let cut_lo = if lo < 0 then -lo else 0 in
+  let lo' = lo + cut_lo and pat_off' = pat_off + cut_lo in
+  let len' = min (len - cut_lo) (Bytes.length t.bytes - lo') in
+  if len' > 0 then begin
+    t.stores <- t.stores + len';
+    Bytes.unsafe_blit pattern pat_off' t.bytes lo' len'
+  end
 
 let loads t = t.loads
 let stores t = t.stores

@@ -29,7 +29,20 @@ val set : t -> int -> int -> unit
 (** [set m p v] writes segment state (0..255), counting one metadata store. *)
 
 val fill_range : t -> lo:int -> hi:int -> int -> unit
-(** Set segments [lo, hi) to a value; counts [hi - lo] stores. *)
+(** Set segments [lo, hi) to a value. The range is clamped to the arena
+    first and only the clamped length is counted as stores — writes into
+    the virtual space beyond the arena touch no metadata and therefore
+    cost nothing (counting them would overcharge the cost model). The
+    bounds check is hoisted: one clamp, then an unchecked fill. *)
+
+val blit_pattern : t -> lo:int -> pattern:Bytes.t -> pat_off:int -> len:int -> unit
+(** [blit_pattern m ~lo ~pattern ~pat_off ~len] copies
+    [pattern[pat_off, pat_off + len)] onto segments [lo, lo + len) in one
+    batched write: the destination range is clamped to the arena (the
+    pattern window slides along with it), the clamped length is counted as
+    stores in one increment, and the copy itself is an unchecked blit.
+    This is the fast path under precomputed poisoning templates.
+    Requires [0 <= pat_off] and [pat_off + len <= Bytes.length pattern]. *)
 
 val loads : t -> int
 (** Metadata loads so far. *)

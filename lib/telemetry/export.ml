@@ -54,6 +54,7 @@ type bench_profile = {
   bp_sim_ns : float;
   bp_ops : int;
   bp_shadow_loads : int;
+  bp_shadow_stores : int;
   bp_region_checks : int;
   bp_fast_checks : int;
   bp_slow_checks : int;
@@ -90,6 +91,7 @@ let bench_json ~groups ~profiles ?(spans = []) () =
             (if p.bp_ops = 0 then 0.0
              else p.bp_sim_ns /. float_of_int p.bp_ops) );
         ("shadow_loads", Json.Int p.bp_shadow_loads);
+        ("shadow_stores", Json.Int p.bp_shadow_stores);
         ("region_checks", Json.Int checks);
         ("fast_checks", Json.Int p.bp_fast_checks);
         ("slow_checks", Json.Int p.bp_slow_checks);
@@ -104,6 +106,113 @@ let bench_json ~groups ~profiles ?(spans = []) () =
          ("profiles", Json.List (List.map profile_json profiles));
          ("spans", Json.List (List.map Span.to_json spans));
        ])
+
+(* ------------------------------------------------------------------ *)
+(* Perf gate: compare two BENCH_giantsan.json documents                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The gate only reads the [profiles] section. The simulated cost sweep is
+   deterministic (seeded specgen, event-count cost model), so the event
+   counts must match the baseline exactly and ns/op may drift only within
+   the tolerance; the wall-clock bechamel [groups] vary per machine and are
+   deliberately not gated. *)
+
+let gate_count_fields =
+  [ "ops"; "shadow_loads"; "shadow_stores"; "region_checks"; "fast_checks";
+    "slow_checks" ]
+
+type gate_profile = {
+  g_profile : string;
+  g_config : string;
+  g_ns_per_op : float;
+  g_counts : (string * int) list;
+}
+
+let parse_bench_profiles text =
+  match Json.parse text with
+  | Error e -> Error ("invalid JSON: " ^ e)
+  | Ok json -> (
+    let str k obj =
+      match Json.member k obj with Some (Json.Str s) -> Ok s
+      | _ -> Error (Printf.sprintf "missing string field %S" k)
+    in
+    let num k obj =
+      match Json.member k obj with
+      | Some (Json.Float f) -> Ok f
+      | Some (Json.Int i) -> Ok (float_of_int i)
+      | _ -> Error (Printf.sprintf "missing numeric field %S" k)
+    in
+    let int_ k obj =
+      match Json.member k obj with Some (Json.Int i) -> Ok i
+      | _ -> Error (Printf.sprintf "missing int field %S" k)
+    in
+    let ( let* ) = Result.bind in
+    let profile obj =
+      let* p = str "profile" obj in
+      let* c = str "config" obj in
+      let* ns = num "ns_per_op" obj in
+      let* counts =
+        List.fold_left
+          (fun acc k ->
+            let* acc = acc in
+            let* v = int_ k obj in
+            Ok ((k, v) :: acc))
+          (Ok []) gate_count_fields
+      in
+      Ok { g_profile = p; g_config = c; g_ns_per_op = ns;
+           g_counts = List.rev counts }
+    in
+    match Json.member "profiles" json with
+    | Some (Json.List l) ->
+      List.fold_left
+        (fun acc obj ->
+          let* acc = acc in
+          let* p = profile obj in
+          Ok (p :: acc))
+        (Ok []) l
+      |> Result.map List.rev
+    | _ -> Error "missing \"profiles\" list")
+
+let compare_bench ~tolerance ~baseline ~current =
+  match parse_bench_profiles baseline, parse_bench_profiles current with
+  | Error e, _ -> Error [ "baseline: " ^ e ]
+  | _, Error e -> Error [ "current: " ^ e ]
+  | Ok base, Ok cur ->
+    let key g = (g.g_profile, g.g_config) in
+    let pretty (p, c) = Printf.sprintf "%s/%s" p c in
+    let failures = ref [] in
+    let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+    List.iter
+      (fun b ->
+        match List.find_opt (fun c -> key c = key b) cur with
+        | None -> fail "%s: missing from current run" (pretty (key b))
+        | Some c ->
+          List.iter
+            (fun (name, bv) ->
+              let cv = List.assoc name c.g_counts in
+              if cv <> bv then
+                fail "%s: %s changed %d -> %d (deterministic count must match)"
+                  (pretty (key b)) name bv cv)
+            b.g_counts;
+          if b.g_ns_per_op > 0.0 then begin
+            let ratio = c.g_ns_per_op /. b.g_ns_per_op in
+            if ratio > 1.0 +. tolerance then
+              fail "%s: ns/op regressed %.2f -> %.2f (%.0f%% > %.0f%% tolerance)"
+                (pretty (key b)) b.g_ns_per_op c.g_ns_per_op
+                ((ratio -. 1.0) *. 100.0) (tolerance *. 100.0)
+            else if ratio < 1.0 -. tolerance then
+              fail
+                "%s: ns/op improved %.2f -> %.2f beyond tolerance — \
+                 re-baseline if intentional"
+                (pretty (key b)) b.g_ns_per_op c.g_ns_per_op
+          end)
+      base;
+    List.iter
+      (fun c ->
+        if not (List.exists (fun b -> key b = key c) base) then
+          fail "%s: not in baseline — re-baseline to admit it" (pretty (key c)))
+      cur;
+    if !failures = [] then Ok (List.length base) else Error (List.rev !failures)
 
 let write_file path body =
   let oc = open_out path in

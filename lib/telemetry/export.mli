@@ -36,6 +36,7 @@ type bench_profile = {
   bp_sim_ns : float;  (** simulated ns for the whole profile run *)
   bp_ops : int;
   bp_shadow_loads : int;
+  bp_shadow_stores : int;  (** metadata stores (poisoning traffic) *)
   bp_region_checks : int;
   bp_fast_checks : int;
   bp_slow_checks : int;
@@ -51,6 +52,27 @@ val bench_json :
     (grouped), per-profile simulated cost with ns/op, shadow loads and
     fast-path ratio, and optional spans. Schema documented in
     EXPERIMENTS.md. *)
+
+(** {1 Performance regression gate}
+
+    The profile sweep is deterministic — seeded scenario generation feeding
+    the event-count cost model — so its event counts must reproduce exactly
+    and [ns_per_op] may move only within a tolerance (cost-model drift).
+    The wall-clock bechamel groups vary per machine and are not gated. *)
+
+val gate_count_fields : string list
+(** The per-profile fields the gate requires to match exactly:
+    ops, shadow loads/stores, region/fast/slow check counts. *)
+
+val compare_bench :
+  tolerance:float -> baseline:string -> current:string ->
+  (int, string list) result
+(** [compare_bench ~tolerance ~baseline ~current] parses two
+    BENCH_giantsan.json documents and checks every baseline profile row
+    against the current run: exact equality on [gate_count_fields], and
+    [ns_per_op] within [±tolerance] (relative). Rows missing from either
+    side fail. Returns the number of compared rows, or the list of
+    failures. *)
 
 val write_file : string -> string -> unit
 (** [write_file path body] truncates and writes (with a trailing

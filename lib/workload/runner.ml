@@ -61,6 +61,7 @@ type result = {
   r_status : status;
   r_ops : int;
   r_shadow_loads : int;
+  r_shadow_stores : int;
   r_counters : Counters.t;
   r_stats : Interp.exec_stats option;
   r_sim_ns : float;
@@ -80,6 +81,7 @@ let skipped p config status =
     r_status = status;
     r_ops = 0;
     r_shadow_loads = 0;
+    r_shadow_stores = 0;
     r_counters = Counters.create ();
     r_stats = None;
     r_sim_ns = nan;
@@ -110,6 +112,7 @@ let run_one ?heap (p : Specgen.profile) config =
       r_status = Completed;
       r_ops = out.Interp.ops;
       r_shadow_loads = san.San.shadow_loads ();
+      r_shadow_stores = san.San.shadow_stores ();
       r_counters = san.San.counters;
       r_stats = Some out.Interp.stats;
       r_sim_ns = Cost_model.simulated_ns input;

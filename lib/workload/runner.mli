@@ -33,6 +33,7 @@ type result = {
   r_status : status;
   r_ops : int;
   r_shadow_loads : int;
+  r_shadow_stores : int;  (** metadata stores (poisoning traffic) *)
   r_counters : Giantsan_sanitizer.Counters.t;
   r_stats : Giantsan_analysis.Interp.exec_stats option;
   r_sim_ns : float;  (** simulated time; [nan] when not Completed *)

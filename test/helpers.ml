@@ -40,6 +40,11 @@ let oracle_safe (san : San.t) ~lo ~hi =
   if lo < 0 || hi > size || lo > hi then false
   else Memsim.Oracle.range_addressable oracle ~lo ~hi
 
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
 (* Quick alcotest shorthands *)
 let qt = Alcotest.test_case
 let q name arb prop =

@@ -125,6 +125,73 @@ let test_bounds_sound_against_oracle =
       done;
       !ok)
 
+(* ------------------------------------------------------------------ *)
+(* Template-blit poisoning vs. the scalar reference kernel              *)
+(* ------------------------------------------------------------------ *)
+
+(* The batched kernel memoizes the degree sequence per power-of-two
+   bracket and blits it in; it must be observationally identical to the
+   per-segment loop: same shadow bytes for every run length (crossing
+   bracket boundaries, which force template rebuilds) and the same store
+   count, with and without the seeded misfold hook. *)
+let poison_kernels_agree ~misfold (first_pick, counts) =
+  let segments = 1024 in
+  let check count =
+    let count = count mod 700 in
+    let first_seg = 1 + (first_pick mod (segments - 701)) in
+    let m1 = Shadow_mem.create ~segments ~fill:SC.unallocated in
+    let m2 = Shadow_mem.create ~segments ~fill:SC.unallocated in
+    Folding.misfold_for_testing := misfold;
+    Fun.protect
+      ~finally:(fun () -> Folding.misfold_for_testing := false)
+      (fun () ->
+        Folding.poison_good_run m1 ~first_seg ~count;
+        Folding.poison_good_run_scalar m2 ~first_seg ~count);
+    let same = ref (Shadow_mem.stores m1 = Shadow_mem.stores m2) in
+    for p = 0 to segments - 1 do
+      if Shadow_mem.peek m1 p <> Shadow_mem.peek m2 p then same := false
+    done;
+    !same
+  in
+  List.for_all check counts
+
+let test_template_blit_equals_scalar =
+  Helpers.q "template blit = scalar loop (bytes + store count)"
+    QCheck.(pair small_nat (list_of_size (Gen.int_range 1 12) small_nat))
+    (poison_kernels_agree ~misfold:false)
+
+let test_template_blit_equals_scalar_misfolded =
+  Helpers.q "template blit = scalar loop under the misfold hook"
+    QCheck.(pair small_nat (list_of_size (Gen.int_range 1 12) small_nat))
+    (poison_kernels_agree ~misfold:true)
+
+let test_template_rebuild_order_independent =
+  Helpers.qt "big-then-small and small-then-big runs agree" `Quick (fun () ->
+      (* the memoized template only grows; a small run after a large one
+         must still blit the correct suffix *)
+      let m = Shadow_mem.create ~segments:2048 ~fill:SC.unallocated in
+      Folding.poison_good_run m ~first_seg:0 ~count:2000;
+      Folding.poison_good_run m ~first_seg:0 ~count:3;
+      Alcotest.(check (list int)) "3-run degrees 1,1,0"
+        [ SC.folded 1; SC.folded 1; SC.folded 0 ]
+        (List.map (Shadow_mem.peek m) [ 0; 1; 2 ]))
+
+let test_upper_bound_clamped_at_arena_tail =
+  Helpers.qt "upper_bound never overshoots the arena" `Quick (fun () ->
+      let segments = 64 in
+      let m = Shadow_mem.create ~segments ~fill:SC.unallocated in
+      (* a (3)-folded code on the last segment claims 8 good segments, 7 of
+         which would live past the shadow end *)
+      Shadow_mem.set m (segments - 1) (SC.folded 3);
+      let u = Folding.upper_bound m ~addr:(8 * (segments - 1)) in
+      Alcotest.(check int) "clamped to 8 * segments" (8 * segments) u;
+      (* a well-formed run ending exactly at the tail is not disturbed *)
+      let m2 = Shadow_mem.create ~segments ~fill:SC.unallocated in
+      Folding.poison_good_run m2 ~first_seg:(segments - 16) ~count:16;
+      Alcotest.(check int) "exact-tail run reaches the arena end"
+        (8 * segments)
+        (Folding.upper_bound m2 ~addr:(8 * (segments - 16))))
+
 let suite =
   ( "folding-props",
     [
@@ -133,4 +200,8 @@ let suite =
       test_lower_bound_matches_brute_force;
       test_lower_bound_load_bound;
       test_bounds_sound_against_oracle;
+      test_template_blit_equals_scalar;
+      test_template_blit_equals_scalar_misfolded;
+      test_template_rebuild_order_independent;
+      test_upper_bound_clamped_at_arena_tail;
     ] )

@@ -101,6 +101,39 @@ let test_negative_offset_within_object () =
   Alcotest.(check bool) "no caching on the low side" true
     (c.Counters.underflow_checks >= 10)
 
+let test_underflow_tail_uses_cache () =
+  (* an access straddling the cache base (off < 0 < off + width) splits
+     into a dedicated underflow check plus a non-negative tail; once the
+     quasi-bound already covers the tail, only the underflow side should
+     cost a region check, and the tail counts as a cache hit *)
+  let san, base = fresh () in
+  let mid = base + 512 in
+  let cache = san.San.new_cache ~base:mid in
+  (* warm the quasi-bound well past the tail we'll need *)
+  for j = 0 to 15 do
+    ignore (san.San.cached_access cache ~off:(8 * j) ~width:8)
+  done;
+  let c = san.San.counters in
+  let hits = c.Counters.cache_hits in
+  let regions = c.Counters.region_checks in
+  let unders = c.Counters.underflow_checks in
+  (match san.San.cached_access cache ~off:(-4) ~width:8 with
+  | None -> ()
+  | Some r ->
+    Alcotest.failf "spurious report: %s" (Giantsan_sanitizer.Report.to_string r));
+  Alcotest.(check int) "tail counted as a cache hit" (hits + 1)
+    c.Counters.cache_hits;
+  Alcotest.(check int) "only the underflow side ran a region check"
+    (regions + 1) c.Counters.region_checks;
+  Alcotest.(check int) "dedicated underflow check ran" (unders + 1)
+    c.Counters.underflow_checks;
+  (* a cold cache cannot vouch for the tail: both sides must check *)
+  let cold = san.San.new_cache ~base:mid in
+  let regions2 = c.Counters.region_checks in
+  ignore (san.San.cached_access cold ~off:(-4) ~width:8);
+  Alcotest.(check int) "cold cache checks both sides" (regions2 + 2)
+    c.Counters.region_checks
+
 let test_flush_catches_mid_loop_free () =
   (* Figure 9 line 14: a free during the loop is caught by the final check *)
   let san, base = fresh () in
@@ -164,6 +197,8 @@ let suite =
         test_negative_offsets_always_checked;
       Helpers.qt "negative offsets inside object pass" `Quick
         test_negative_offset_within_object;
+      Helpers.qt "straddling access: tail served by the cache" `Quick
+        test_underflow_tail_uses_cache;
       Helpers.qt "flush catches mid-loop free" `Quick
         test_flush_catches_mid_loop_free;
       Helpers.qt "flush is silent on clean loops" `Quick

@@ -187,6 +187,54 @@ let test_access_oracle =
               (triple small_nat small_nat small_nat)))
        access_agrees_with_oracle)
 
+(* Every Bad verdict must name an address inside the checked region:
+   l <= addr < r. Algorithm 1's suffix branch rounds the first
+   non-addressable byte up to its segment end, which without clamping
+   could report an address at or past r. *)
+let bad_addr_within_region (seed, picks) =
+  let rng = Giantsan_util.Rng.create seed in
+  let san, m = Giantsan_core.Gs_runtime.create_exposed Helpers.small_config in
+  let n_objects = Giantsan_util.Rng.int_in rng 3 10 in
+  for _ = 1 to n_objects do
+    let size = Giantsan_util.Rng.int_in rng 0 300 in
+    let obj = san.San.malloc size in
+    if Giantsan_util.Rng.int rng 3 = 0 then
+      ignore (san.San.free obj.Memsim.Memobj.base)
+  done;
+  let arena = 8 * Shadow_mem.segments m in
+  List.for_all
+    (fun (l_pick, len_pick) ->
+      let l = (l_pick mod (arena - 16)) land lnot 7 in
+      let r = min arena (l + 1 + (len_pick mod 400)) in
+      match RC.check m ~l ~r with
+      | RC.Safe_fast | RC.Safe_slow -> true
+      | RC.Bad addr -> l <= addr && addr < r)
+    picks
+
+let test_bad_addr_within_region =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"Bad addr satisfies l <= addr < r" ~count:300
+       QCheck.(
+         pair small_int
+           (list_of_size (Gen.int_range 1 24) (pair small_nat small_nat)))
+       bad_addr_within_region)
+
+let test_bad_addr_suffix_branch_unit () =
+  (* the concrete overshoot shape: a region whose prefix is good and whose
+     failure is found by the suffix check in the last segment *)
+  let m, base = mk_object_shadow ~size:64 in
+  List.iter
+    (fun r_off ->
+      match RC.check m ~l:base ~r:(base + r_off) with
+      | RC.Bad addr ->
+          Alcotest.(check bool)
+            (Printf.sprintf "Bad addr %d in [%d, %d)" addr base (base + r_off))
+            true
+            (base <= addr && addr < base + r_off)
+      | RC.Safe_fast | RC.Safe_slow ->
+          Alcotest.fail "overflowing region reported safe")
+    [ 65; 66; 70; 72; 100 ]
+
 let suite =
   ( "region_check",
     [
@@ -201,4 +249,7 @@ let suite =
       Helpers.qt "mid-object regions" `Quick test_mid_object_start;
       test_region_oracle;
       test_access_oracle;
+      test_bad_addr_within_region;
+      Helpers.qt "suffix-branch Bad addr stays below r" `Quick
+        test_bad_addr_suffix_branch_unit;
     ] )

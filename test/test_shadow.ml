@@ -1,0 +1,82 @@
+(* The shadow substrate's batched kernels: store-counter discipline under
+   clamping (the fill_range drift bug), and blit_pattern's equivalence with
+   a per-byte store loop. The cost model charges w_poison_segment per
+   counted store, so a drifting counter corrupts every Table 2 number. *)
+
+module Shadow_mem = Giantsan_shadow.Shadow_mem
+
+(* clamped intersection of [lo, hi) with [0, segments) *)
+let clamped_len ~segments ~lo ~hi =
+  let lo' = max 0 lo and hi' = min segments hi in
+  max 0 (hi' - lo')
+
+let test_fill_range_counts_only_clamped =
+  Helpers.q "fill_range stores = clamped length (no drift past the arena)"
+    QCheck.(triple (int_range 1 200) (int_range (-100) 300) (int_range 0 300))
+    (fun (segments, lo, len) ->
+      let hi = lo + len in
+      let m = Shadow_mem.create ~segments ~fill:0 in
+      let before = Shadow_mem.stores m in
+      Shadow_mem.fill_range m ~lo ~hi 7;
+      Shadow_mem.stores m - before = clamped_len ~segments ~lo ~hi)
+
+let test_fill_range_tail_eviction_case =
+  Helpers.qt "quarantine-eviction-shaped fill at the arena tail" `Quick
+    (fun () ->
+      (* the original drift: a fill whose range sticks out past the last
+         segment counted the out-of-range bytes as stores *)
+      let m = Shadow_mem.create ~segments:64 ~fill:0 in
+      Shadow_mem.fill_range m ~lo:60 ~hi:80 9;
+      Alcotest.(check int) "only 4 in-arena stores counted" 4
+        (Shadow_mem.stores m);
+      Alcotest.(check int) "last segment written" 9 (Shadow_mem.peek m 63);
+      (* fully out-of-range fills cost nothing *)
+      Shadow_mem.fill_range m ~lo:64 ~hi:90 9;
+      Shadow_mem.fill_range m ~lo:(-10) ~hi:0 9;
+      Alcotest.(check int) "out-of-arena fills are free" 4
+        (Shadow_mem.stores m))
+
+let test_blit_pattern_equals_per_byte_loop =
+  Helpers.q "blit_pattern = per-byte set loop (bytes and counters)"
+    QCheck.(
+      quad (int_range 1 128) (int_range (-20) 140) (int_range 0 64)
+        (int_range 0 255))
+    (fun (segments, lo, len, seed) ->
+      let pattern =
+        Bytes.init (len + 8) (fun i -> Char.chr ((seed + (31 * i)) land 0xff))
+      in
+      let pat_off = seed mod 8 in
+      let m1 = Shadow_mem.create ~segments ~fill:0 in
+      let m2 = Shadow_mem.create ~segments ~fill:0 in
+      Shadow_mem.blit_pattern m1 ~lo ~pattern ~pat_off ~len;
+      (* reference: per-byte sets, skipping (not counting) out-of-arena
+         writes — the batched kernels' counting discipline *)
+      for j = 0 to len - 1 do
+        if lo + j >= 0 && lo + j < segments then
+          Shadow_mem.set m2 (lo + j) (Char.code (Bytes.get pattern (pat_off + j)))
+      done;
+      let same_bytes = ref true in
+      for p = 0 to segments - 1 do
+        if Shadow_mem.peek m1 p <> Shadow_mem.peek m2 p then same_bytes := false
+      done;
+      !same_bytes && Shadow_mem.stores m1 = Shadow_mem.stores m2)
+
+let test_blit_pattern_window_slides_on_clamp =
+  Helpers.qt "negative lo slides the pattern window" `Quick (fun () ->
+      let m = Shadow_mem.create ~segments:8 ~fill:0 in
+      let pattern = Bytes.of_string "\001\002\003\004\005" in
+      Shadow_mem.blit_pattern m ~lo:(-2) ~pattern ~pat_off:0 ~len:5;
+      (* bytes 0,1 of the pattern fall before the arena; 3,4,5 land at 0.. *)
+      Alcotest.(check (list int)) "pattern tail lands at segment 0"
+        [ 3; 4; 5; 0 ]
+        (List.map (Shadow_mem.peek m) [ 0; 1; 2; 3 ]);
+      Alcotest.(check int) "three counted stores" 3 (Shadow_mem.stores m))
+
+let suite =
+  ( "shadow",
+    [
+      test_fill_range_counts_only_clamped;
+      test_fill_range_tail_eviction_case;
+      test_blit_pattern_equals_per_byte_loop;
+      test_blit_pattern_window_slides_on_clamp;
+    ] )

@@ -236,6 +236,103 @@ let test_disabled_path_allocates_nothing =
         Alcotest.fail
           (Printf.sprintf "disabled emit path allocated %.0f words" delta))
 
+(* ------------------------------------------------------------------ *)
+(* Performance regression gate                                         *)
+(* ------------------------------------------------------------------ *)
+
+let mk_profile ?(sim_ns = 5000.0) ?(ops = 100) ?(stores = 40) name config =
+  {
+    Export.bp_profile = name;
+    bp_config = config;
+    bp_sim_ns = sim_ns;
+    bp_ops = ops;
+    bp_shadow_loads = 250;
+    bp_shadow_stores = stores;
+    bp_region_checks = 30;
+    bp_fast_checks = 25;
+    bp_slow_checks = 5;
+  }
+
+let mk_doc profiles = Export.bench_json ~groups:[] ~profiles ()
+
+let gate_ok = function
+  | Ok n -> n
+  | Error es -> Alcotest.fail (String.concat "; " es)
+
+let gate_failures = function
+  | Ok n -> Alcotest.failf "gate passed (%d rows) but should fail" n
+  | Error es -> es
+
+let test_gate_identical_passes =
+  Helpers.qt "gate: identical documents pass" `Quick (fun () ->
+      let doc =
+        mk_doc [ mk_profile "seq" "giantsan"; mk_profile "churn" "asan" ]
+      in
+      let n =
+        gate_ok (Export.compare_bench ~tolerance:0.25 ~baseline:doc ~current:doc)
+      in
+      Alcotest.(check int) "both rows compared" 2 n)
+
+let test_gate_tolerates_small_ns_drift =
+  Helpers.qt "gate: ns/op drift within tolerance passes" `Quick (fun () ->
+      let baseline = mk_doc [ mk_profile ~sim_ns:5000.0 "seq" "giantsan" ] in
+      let current = mk_doc [ mk_profile ~sim_ns:6000.0 "seq" "giantsan" ] in
+      ignore
+        (gate_ok
+           (Export.compare_bench ~tolerance:0.25 ~baseline ~current)))
+
+let test_gate_rejects_ns_regression =
+  Helpers.qt "gate: >tolerance ns/op regression fails" `Quick (fun () ->
+      let baseline = mk_doc [ mk_profile ~sim_ns:5000.0 "seq" "giantsan" ] in
+      let current = mk_doc [ mk_profile ~sim_ns:7000.0 "seq" "giantsan" ] in
+      match Export.compare_bench ~tolerance:0.25 ~baseline ~current with
+      | Ok _ -> Alcotest.fail "40% regression passed the gate"
+      | Error [ msg ] ->
+          Alcotest.(check bool) "message names the row" true
+            (Helpers.contains msg "seq")
+      | Error es ->
+          Alcotest.failf "expected one violation, got %d" (List.length es))
+
+let test_gate_rejects_large_improvement =
+  Helpers.qt "gate: improvement beyond tolerance demands re-baseline" `Quick
+    (fun () ->
+      (* a big speed-up is good news but still a baseline mismatch; the
+         gate insists the committed baseline be refreshed intentionally *)
+      let baseline = mk_doc [ mk_profile ~sim_ns:5000.0 "seq" "giantsan" ] in
+      let current = mk_doc [ mk_profile ~sim_ns:2000.0 "seq" "giantsan" ] in
+      let es =
+        gate_failures (Export.compare_bench ~tolerance:0.25 ~baseline ~current)
+      in
+      Alcotest.(check bool) "suggests re-baselining" true
+        (List.exists (fun m -> Helpers.contains m "re-baseline") es))
+
+let test_gate_rejects_count_mismatch =
+  Helpers.qt "gate: any event-count mismatch fails exactly" `Quick (fun () ->
+      let baseline = mk_doc [ mk_profile ~stores:40 "seq" "giantsan" ] in
+      let current = mk_doc [ mk_profile ~stores:41 "seq" "giantsan" ] in
+      let es =
+        gate_failures (Export.compare_bench ~tolerance:0.25 ~baseline ~current)
+      in
+      Alcotest.(check bool) "names shadow_stores" true
+        (List.exists (fun m -> Helpers.contains m "shadow_stores") es))
+
+let test_gate_rejects_missing_rows =
+  Helpers.qt "gate: rows missing from either side fail" `Quick (fun () ->
+      let both = [ mk_profile "seq" "giantsan"; mk_profile "churn" "asan" ] in
+      let one = [ mk_profile "seq" "giantsan" ] in
+      (match
+         Export.compare_bench ~tolerance:0.25 ~baseline:(mk_doc both)
+           ~current:(mk_doc one)
+       with
+      | Ok _ -> Alcotest.fail "dropped row passed the gate"
+      | Error _ -> ());
+      match
+        Export.compare_bench ~tolerance:0.25 ~baseline:(mk_doc one)
+          ~current:(mk_doc both)
+      with
+      | Ok _ -> Alcotest.fail "new unbaselined row passed the gate"
+      | Error _ -> ())
+
 let suite =
   ( "telemetry",
     [
@@ -256,4 +353,10 @@ let suite =
       test_trace_lines_valid_ndjson;
       test_with_capture_restores;
       test_disabled_path_allocates_nothing;
+      test_gate_identical_passes;
+      test_gate_tolerates_small_ns_drift;
+      test_gate_rejects_ns_regression;
+      test_gate_rejects_large_improvement;
+      test_gate_rejects_count_mismatch;
+      test_gate_rejects_missing_rows;
     ] )
