@@ -319,33 +319,52 @@ let telemetry_path =
    gated, so CI need not pay for them). *)
 let profiles_only = Array.exists (( = ) "--profiles-only") Sys.argv
 
+(* --jobs N: domain-pool width for the profile sweep (default: one per
+   recommended core). The sweep is simulated time over deterministic event
+   counts, so every [jobs] value produces the same JSON body — the gate
+   passes unchanged on a parallel run; only wall-clock shrinks. *)
+let jobs =
+  let argv = Sys.argv in
+  let n = Array.length argv in
+  let rec scan i =
+    if i >= n then Giantsan_parallel.Pool.default_jobs ()
+    else if argv.(i) = "--jobs" && i + 1 < n then
+      match int_of_string_opt argv.(i + 1) with
+      | Some j when j > 0 -> j
+      | _ -> Giantsan_parallel.Pool.default_jobs ()
+    else scan (i + 1)
+  in
+  scan 1
+
 (* Per-profile simulated cost under every sanitizer configuration, at a
-   reduced scale so the sweep stays in seconds. LFP's compile-error
+   reduced scale so the sweep stays in seconds, sharded across the domain
+   pool (one cell = one private heap/shadow/sanitizer). LFP's compile-error
    profiles report [nan] sim time and are skipped. *)
 let profile_stats () =
   let shrink p = { p with Specgen.p_phases = 4; p_iters = 128 } in
-  List.concat_map
-    (fun p ->
-      List.filter_map
-        (fun cfg ->
-          let r = Runner.run_one ~heap:bench_heap (shrink p) cfg in
-          if r.Runner.r_status <> Runner.Completed then None
-          else
-            let c = r.Runner.r_counters in
-            Some
-              {
-                Telemetry.Export.bp_profile = r.Runner.r_profile;
-                bp_config = Runner.config_name cfg;
-                bp_sim_ns = r.Runner.r_sim_ns;
-                bp_ops = r.Runner.r_ops;
-                bp_shadow_loads = r.Runner.r_shadow_loads;
-                bp_shadow_stores = r.Runner.r_shadow_stores;
-                bp_region_checks = c.Counters.region_checks;
-                bp_fast_checks = c.Counters.fast_checks;
-                bp_slow_checks = c.Counters.slow_checks;
-              })
-        Runner.all_configs)
-    Profiles.all
+  let outcome =
+    Giantsan_parallel.Sweep.run ~heap:bench_heap ~jobs
+      ~profiles:(List.map shrink Profiles.all)
+      ~configs:Runner.all_configs ()
+  in
+  List.filter_map
+    (fun (r : Runner.result) ->
+      if r.Runner.r_status <> Runner.Completed then None
+      else
+        let c = r.Runner.r_counters in
+        Some
+          {
+            Telemetry.Export.bp_profile = r.Runner.r_profile;
+            bp_config = Runner.config_name r.Runner.r_config;
+            bp_sim_ns = r.Runner.r_sim_ns;
+            bp_ops = r.Runner.r_ops;
+            bp_shadow_loads = r.Runner.r_shadow_loads;
+            bp_shadow_stores = r.Runner.r_shadow_stores;
+            bp_region_checks = c.Counters.region_checks;
+            bp_fast_checks = c.Counters.fast_checks;
+            bp_slow_checks = c.Counters.slow_checks;
+          })
+    (Array.to_list outcome.Giantsan_parallel.Sweep.o_results)
 
 let () =
   print_endline "GiantSan reproduction benchmarks (Bechamel)";

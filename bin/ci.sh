@@ -1,13 +1,25 @@
 #!/bin/sh
-# CI gate: build, tests, regression-corpus replay, a fixed-seed fuzz
-# smoke including a byte-identical determinism check of two runs, and the
-# performance regression gate against the committed bench baseline.
+# CI gate: build, tests, API docs, regression-corpus replay, a fixed-seed
+# fuzz smoke including a byte-identical determinism check of two runs,
+# the sharded-execution determinism gate (serial vs --jobs NDJSON diff),
+# and the performance regression gate against the committed bench
+# baseline — which also runs once more under --jobs 2 to prove the
+# parallel engine reproduces the same event counts.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 echo "== build =="
 dune build @all
+
+echo "== docs =="
+# @doc needs odoc for public packages; the libraries here are private so
+# this validates the doc setup cheaply. When odoc is installed we also
+# build the private-library docs, which parses every odoc comment.
+dune build @doc
+if command -v odoc >/dev/null 2>&1; then
+  dune build @doc-private
+fi
 
 echo "== tests =="
 dune runtest
@@ -48,6 +60,33 @@ if ! cmp -s "$tmpdir/trace1.ndjson" "$tmpdir/trace2.ndjson"; then
 fi
 echo "byte-identical traces across two runs"
 
+echo "== parallel sweep determinism (serial vs --jobs 2, shuffled) =="
+# The sharded engine must merge to byte-identical output: same stdout
+# summary and same NDJSON telemetry regardless of jobs and submission
+# order. --shuffle only reorders task submission; results and events are
+# always merged back in canonical cell order.
+dune exec bin/main.exe -- sweep --quick --jobs 1 \
+  --ndjson "$tmpdir/sweep_serial.ndjson" > "$tmpdir/sweep_serial.txt" \
+  2> /dev/null
+dune exec bin/main.exe -- sweep --quick --jobs 2 --shuffle 7 \
+  --ndjson "$tmpdir/sweep_par.ndjson" > "$tmpdir/sweep_par.txt" 2> /dev/null
+if ! cmp -s "$tmpdir/sweep_serial.ndjson" "$tmpdir/sweep_par.ndjson"; then
+  echo "FAIL: serial and --jobs 2 sweeps produced different NDJSON" >&2
+  diff "$tmpdir/sweep_serial.ndjson" "$tmpdir/sweep_par.ndjson" >&2 || true
+  exit 1
+fi
+# stdout embeds the NDJSON output path, so normalise it before diffing
+sed "s|$tmpdir/sweep_serial.ndjson|OUT|" "$tmpdir/sweep_serial.txt" \
+  > "$tmpdir/sweep_serial.norm"
+sed "s|$tmpdir/sweep_par.ndjson|OUT|" "$tmpdir/sweep_par.txt" \
+  > "$tmpdir/sweep_par.norm"
+if ! cmp -s "$tmpdir/sweep_serial.norm" "$tmpdir/sweep_par.norm"; then
+  echo "FAIL: serial and --jobs 2 sweep summaries differ" >&2
+  diff "$tmpdir/sweep_serial.norm" "$tmpdir/sweep_par.norm" >&2 || true
+  exit 1
+fi
+echo "byte-identical NDJSON and summary across jobs=1 and jobs=2"
+
 echo "== perf gate (vs BENCH_giantsan.json baseline) =="
 # The deterministic profile sweep only: event counts must reproduce the
 # committed baseline exactly, ns/op within ±25%. Wall-clock bechamel
@@ -56,5 +95,13 @@ echo "== perf gate (vs BENCH_giantsan.json baseline) =="
 dune exec bench/main.exe -- --profiles-only --telemetry "$tmpdir/bench.json" \
   > /dev/null
 dune exec bin/main.exe -- bench-compare BENCH_giantsan.json "$tmpdir/bench.json"
+
+echo "== perf gate under sharding (--jobs 2) =="
+# sim_ns is derived from deterministic event counts, never wall-clock, so
+# the same baseline must hold bit-for-bit when the sweep runs sharded.
+dune exec bench/main.exe -- --profiles-only --jobs 2 \
+  --telemetry "$tmpdir/bench_j2.json" > /dev/null
+dune exec bin/main.exe -- bench-compare BENCH_giantsan.json \
+  "$tmpdir/bench_j2.json"
 
 echo "== ci green =="

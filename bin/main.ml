@@ -40,11 +40,11 @@ let with_telemetry telemetry f =
         Printf.eprintf "telemetry summary written to %s\n" path)
       f
 
-let run_ids ids quick out telemetry =
+let run_ids ids quick jobs out telemetry =
   with_telemetry telemetry (fun () ->
       List.iter
         (fun id ->
-          let o = Giantsan_report.Experiments.run ~quick id in
+          let o = Giantsan_report.Experiments.run ~quick ~jobs id in
           print_string o.Giantsan_report.Experiments.o_body;
           print_newline ();
           write_out out o.Giantsan_report.Experiments.o_body)
@@ -54,6 +54,33 @@ let run_ids ids quick out telemetry =
 let quick_flag =
   let doc = "Smaller populations / fewer profiles (smoke-test mode)." in
   Arg.(value & flag & info [ "quick" ] ~doc)
+
+let jobs_arg =
+  let doc =
+    "Shard the parallelizable work across $(docv) domains (0 = one per \
+     recommended core). Results are byte-identical for every value; only \
+     wall-clock changes."
+  in
+  let resolve n =
+    if n <= 0 then Giantsan_parallel.Pool.default_jobs () else n
+  in
+  Term.(
+    const resolve
+    $ Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc))
+
+(* like [jobs_arg] but defaulting to the recommended domain count — for the
+   subcommands whose whole point is the parallel sweep *)
+let jobs_default_parallel =
+  let doc =
+    "Domain-pool size (0 = one per recommended core). Results are \
+     byte-identical for every value; only wall-clock changes."
+  in
+  let resolve n =
+    if n <= 0 then Giantsan_parallel.Pool.default_jobs () else n
+  in
+  Term.(
+    const resolve
+    $ Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N" ~doc))
 
 let out_file =
   let doc = "Append the rendered report to $(docv)." in
@@ -75,17 +102,18 @@ let experiment_cmd id title =
   Cmd.v
     (Cmd.info id ~doc)
     Term.(
-      const (fun quick out telemetry -> run_ids [ id ] quick out telemetry)
-      $ quick_flag $ out_file $ telemetry_file)
+      const (fun quick jobs out telemetry ->
+          run_ids [ id ] quick jobs out telemetry)
+      $ quick_flag $ jobs_arg $ out_file $ telemetry_file)
 
 let all_cmd =
   let doc = "Run every experiment (all tables and figures)." in
   Cmd.v
     (Cmd.info "all" ~doc)
     Term.(
-      const (fun quick out telemetry ->
-          run_ids Giantsan_report.Experiments.all_ids quick out telemetry)
-      $ quick_flag $ out_file $ telemetry_file)
+      const (fun quick jobs out telemetry ->
+          run_ids Giantsan_report.Experiments.all_ids quick jobs out telemetry)
+      $ quick_flag $ jobs_arg $ out_file $ telemetry_file)
 
 let extras_cmd =
   let doc =
@@ -95,9 +123,10 @@ let extras_cmd =
   Cmd.v
     (Cmd.info "extras" ~doc)
     Term.(
-      const (fun quick out telemetry ->
-          run_ids Giantsan_report.Experiments.extra_ids quick out telemetry)
-      $ quick_flag $ out_file $ telemetry_file)
+      const (fun quick jobs out telemetry ->
+          run_ids Giantsan_report.Experiments.extra_ids quick jobs out
+            telemetry)
+      $ quick_flag $ jobs_arg $ out_file $ telemetry_file)
 
 let fuzz_matrix_cmd =
   let doc =
@@ -116,12 +145,12 @@ let fuzz_matrix_cmd =
   Cmd.v
     (Cmd.info "fuzz-matrix" ~doc)
     Term.(
-      const (fun seed count out ->
-          let body = Giantsan_report.Corpus_tools.fuzz ~seed ~count in
+      const (fun seed count jobs out ->
+          let body = Giantsan_report.Corpus_tools.fuzz ~jobs ~seed ~count () in
           print_string body;
           write_out out body;
           0)
-      $ seed $ count $ out_file)
+      $ seed $ count $ jobs_arg $ out_file)
 
 let fuzz_cmd =
   let doc =
@@ -339,6 +368,117 @@ let bench_compare_cmd =
               1))
       $ baseline $ current $ tolerance)
 
+let sweep_cmd =
+  let module Sweep = Giantsan_parallel.Sweep in
+  let module Merge = Giantsan_parallel.Merge in
+  let module Specgen = Giantsan_workload.Specgen in
+  let module Profiles = Giantsan_workload.Profiles in
+  let module Runner = Giantsan_workload.Runner in
+  let doc =
+    "Run the full profile x config matrix on a domain pool and print a \
+     deterministic summary. Event counts, merged counters and the \
+     $(b,--ndjson) trace are byte-identical for every $(b,--jobs) value \
+     and any $(b,--shuffle) submission order — the CI determinism leg \
+     diffs exactly this."
+  in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:
+            "Reduced scale (4 phases / 128 iterations per profile — the \
+             same shrink the bench profile sweep uses).")
+  in
+  let shuffle =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shuffle" ] ~docv:"SEED"
+          ~doc:
+            "Submit the cells to the pool in a seeded random order instead \
+             of canonical order (results are de-permuted back, so output \
+             must not change — that is the point).")
+  in
+  let ndjson =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ndjson" ] ~docv:"FILE"
+          ~doc:
+            "Capture each cell's trace in a private per-shard ring and \
+             write the deterministically merged NDJSON to $(docv).")
+  in
+  let capacity =
+    Arg.(
+      value & opt int 1024
+      & info [ "capacity" ] ~docv:"N"
+          ~doc:"Per-shard trace ring capacity (with $(b,--ndjson)).")
+  in
+  Cmd.v (Cmd.info "sweep" ~doc)
+    Term.(
+      const (fun jobs quick shuffle ndjson capacity ->
+          let profiles =
+            if quick then
+              List.map
+                (fun p -> { p with Specgen.p_phases = 4; p_iters = 128 })
+                Profiles.all
+            else Profiles.all
+          in
+          let configs = Runner.all_configs in
+          let n = List.length profiles * List.length configs in
+          let order =
+            Option.map
+              (fun seed ->
+                let o = Array.init n Fun.id in
+                Giantsan_util.Rng.shuffle (Giantsan_util.Rng.create seed) o;
+                o)
+              shuffle
+          in
+          (* jobs/shuffle only to stderr: stdout and the NDJSON file must
+             diff clean across schedules *)
+          Printf.eprintf "sweep: %d cells on %d domain(s)%s\n%!" n jobs
+            (match shuffle with
+            | None -> ""
+            | Some s -> Printf.sprintf ", submission shuffled (seed %d)" s);
+          let outcome =
+            Sweep.run ?order ~trace:(ndjson <> None) ~capacity ~jobs
+              ~profiles ~configs ()
+          in
+          let completed =
+            List.filter
+              (fun r -> r.Runner.r_status = Runner.Completed)
+              (Array.to_list outcome.Sweep.o_results)
+          in
+          let merged =
+            Merge.counters
+              (List.map (fun r -> r.Runner.r_counters) completed)
+          in
+          let sum f = List.fold_left (fun acc r -> acc + f r) 0 completed in
+          Printf.printf "%d/%d cells completed (%d profiles x %d configs)\n"
+            (List.length completed) n (List.length profiles)
+            (List.length configs);
+          Printf.printf "ops=%d shadow_loads=%d shadow_stores=%d\n"
+            (sum (fun r -> r.Runner.r_ops))
+            (sum (fun r -> r.Runner.r_shadow_loads))
+            (sum (fun r -> r.Runner.r_shadow_stores));
+          Format.printf "merged counters:@.%a@."
+            Giantsan_sanitizer.Counters.pp merged;
+          (match ndjson with
+          | None -> ()
+          | Some path ->
+            let lines = Sweep.ndjson outcome in
+            let oc = open_out path in
+            List.iter
+              (fun l ->
+                output_string oc l;
+                output_char oc '\n')
+              lines;
+            close_out oc;
+            Printf.printf "trace: %d merged events -> %s\n"
+              (List.length lines) path);
+          0)
+      $ jobs_default_parallel $ quick $ shuffle $ ndjson $ capacity)
+
 let validate_cmd =
   let doc = "Re-validate the ground-truth labels of every generated corpus." in
   Cmd.v (Cmd.info "validate" ~doc)
@@ -359,7 +499,8 @@ let () =
   in
   let cmds =
     all_cmd :: extras_cmd :: fuzz_cmd :: fuzz_matrix_cmd :: replay_cmd
-    :: trace_cmd :: check_ndjson_cmd :: bench_compare_cmd :: validate_cmd
+    :: trace_cmd :: check_ndjson_cmd :: bench_compare_cmd :: sweep_cmd
+    :: validate_cmd
     :: List.map
          (fun id -> experiment_cmd id id)
          (Giantsan_report.Experiments.all_ids

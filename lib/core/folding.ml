@@ -6,6 +6,10 @@ let degree_at ~good_segments =
   assert (good_segments >= 1);
   min (Bitops.log2_floor good_segments) State_code.max_degree
 
+(* Read on every poison; written only by tests and the fuzzer's self-test
+   harness. Initialized-before-fork: flip it only while no worker domain is
+   running (the parallel engine never mutates it), so concurrent readers
+   always observe a quiescent value. *)
 let misfold_for_testing = ref false
 
 let poison_good_run_scalar m ~first_seg ~count =
@@ -40,10 +44,17 @@ let poison_good_run_scalar m ~first_seg ~count =
    ..., degree_at 2, degree_at 1. So one memoized byte template (rebuilt
    only when a run outgrows it, to the next power of two) serves every run:
    poisoning becomes a single [Bytes.blit] of its last [G] bytes instead of
-   [G] counted stores. *)
-let template = ref Bytes.empty
+   [G] counted stores.
+
+   The memo is domain-local: a shared [Bytes.t ref] would let one domain
+   observe another's half-built template (grow-then-fill is not atomic), so
+   each domain memoizes its own. Worst case each worker rebuilds the
+   template once per power-of-two growth — noise next to the sweeps that
+   amortize it. *)
+let template_key = Domain.DLS.new_key (fun () -> ref Bytes.empty)
 
 let template_for count =
+  let template = Domain.DLS.get template_key in
   if Bytes.length !template < count then begin
     let n = Bitops.pow2 (Bitops.log2_ceil count) in
     let t = Bytes.create n in

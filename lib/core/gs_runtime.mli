@@ -12,6 +12,11 @@
       the instruction-level fallback. *)
 
 val create : Giantsan_memsim.Heap.config -> Giantsan_sanitizer.Sanitizer.t
+(** The full GiantSan runtime as evaluated in Table 2: folding, region
+    checks, quasi-bound cache and underflow anchoring all enabled. Each
+    call builds a private heap and shadow memory, so independently
+    created runtimes never share mutable state (the property the sharded
+    execution engine in [lib/parallel] relies on). *)
 
 val create_variant :
   name:string ->

@@ -22,6 +22,10 @@
     the sound reading. *)
 
 type result = Ok_cached | Ok_checked | Bad of int
+(** [Ok_cached]: inside the quasi-bound, zero metadata loads.
+    [Ok_checked]: safe, but paid a region check (and enlarged the bound
+    when the access was on the overflow side). [Bad addr]: the region
+    check failed at [addr]. *)
 
 val access :
   Giantsan_shadow.Shadow_mem.t ->

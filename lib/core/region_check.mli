@@ -28,3 +28,4 @@ val check_unaligned : Giantsan_shadow.Shadow_mem.t -> l:int -> r:int -> outcome
     aligned-down bytes belong to the same object). *)
 
 val is_safe : outcome -> bool
+(** True for [Safe_fast] and [Safe_slow]. *)

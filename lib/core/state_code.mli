@@ -32,16 +32,25 @@ val is_folded : int -> bool
 (** [v <= 64]. *)
 
 val is_partial : int -> bool
+(** [65 <= v <= 71]. *)
+
 val is_error : int -> bool
+(** [v > 72]. *)
 
 (** Error codes (all > 72, keeping Definition 1's monotonicity). *)
 
 val heap_redzone : int
+(** Bytes of a heap allocation's surrounding redzone. *)
 
 val freed : int
+(** Bytes of a freed (possibly quarantined) object. *)
+
 val stack_redzone : int
 val global_redzone : int
+(** Redzones of the corresponding {!Giantsan_memsim.Memobj.kind}. *)
+
 val unallocated : int
+(** Never-allocated shadow, the initial state of the arena. *)
 
 val covered_bytes : int -> int
 (** [covered_bytes v] is the number of addressable bytes guaranteed to start
@@ -55,6 +64,9 @@ val addressable_in_segment : int -> int
     k-partial, 0 if error. *)
 
 val redzone_code : Giantsan_memsim.Memobj.kind -> int
+(** The redzone error code matching an object kind (heap, stack,
+    global). *)
+
 val describe : int -> string
 (** Human-readable rendering, e.g. ["(3)-folded"], ["4-partial"],
     ["heap-redzone"]. *)

@@ -1,0 +1,16 @@
+module Counters = Giantsan_sanitizer.Counters
+module Histogram = Giantsan_telemetry.Histogram
+module Export = Giantsan_telemetry.Export
+
+let resequence per_shard =
+  List.mapi (fun seq (_, ev) -> (seq, ev)) (List.concat per_shard)
+
+let ndjson per_shard = Export.ndjson_lines (resequence per_shard)
+
+let counters cs =
+  let acc = Counters.create () in
+  List.iter (Counters.add acc) cs;
+  acc
+
+let histograms hs =
+  List.fold_left Histogram.merge_set (Histogram.create_set ()) hs

@@ -1,0 +1,33 @@
+(** Deterministic merges of per-shard state back into one serial-equivalent
+    view.
+
+    Everything a shard produces is mergeable by a commutative monoid
+    (counters: per-field addition; histograms: bucket-wise addition) or by a
+    canonical re-sequencing (traces: shard-major order). Because the merge
+    depends only on (shard id, per-shard sequence number) — never on
+    wall-clock interleaving — a parallel run merges to byte-identical
+    output for every [jobs] value and submission order. The determinism
+    tests in [test/test_parallel.ml] hold this as a qcheck property. *)
+
+val resequence :
+  (int * Giantsan_telemetry.Event.t) list list ->
+  (int * Giantsan_telemetry.Event.t) list
+(** Concatenate per-shard event lists in shard order and renumber the
+    sequence numbers globally from 0 — the (shard id, seq) lexicographic
+    order. A serial run through the same sharding (jobs = 1) yields exactly
+    this list. *)
+
+val ndjson :
+  (int * Giantsan_telemetry.Event.t) list list -> string list
+(** [resequence] rendered as NDJSON lines, ready to diff against another
+    run byte for byte. *)
+
+val counters :
+  Giantsan_sanitizer.Counters.t list -> Giantsan_sanitizer.Counters.t
+(** Fold shard counters into a fresh accumulator with [Counters.add]
+    (per-field sum — commutative, so shard order is irrelevant). *)
+
+val histograms :
+  Giantsan_telemetry.Histogram.set list -> Giantsan_telemetry.Histogram.set
+(** Fold shard histogram sets with [Histogram.merge_set] (bucket-wise sum,
+    max of maxima — commutative likewise). *)

@@ -1,0 +1,41 @@
+let default_jobs () = max 1 (Domain.recommended_domain_count ())
+
+let run ~jobs tasks =
+  let n = Array.length tasks in
+  if n = 0 then [||]
+  else begin
+    let jobs = max 1 (min jobs n) in
+    if jobs = 1 then
+      (* inline serial reference: same claiming order, no domains *)
+      Array.map (fun task -> task ()) tasks
+    else begin
+      let next = Atomic.make 0 in
+      (* one slot per task, written exactly once by the claiming worker;
+         Domain.join publishes the writes back to the caller *)
+      let slots = Array.make n None in
+      let worker () =
+        let rec loop () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            slots.(i) <-
+              Some (match tasks.(i) () with
+                   | r -> Ok r
+                   | exception e -> Error e);
+            loop ()
+          end
+        in
+        loop ()
+      in
+      let domains = Array.init jobs (fun _ -> Domain.spawn worker) in
+      Array.iter Domain.join domains;
+      Array.map
+        (function
+          | Some (Ok r) -> r
+          | Some (Error e) -> raise e
+          | None -> assert false)
+        slots
+    end
+  end
+
+let map ~jobs f xs =
+  Array.to_list (run ~jobs (Array.map (fun x () -> f x) (Array.of_list xs)))

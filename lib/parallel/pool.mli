@@ -1,0 +1,32 @@
+(** Fixed-size domain pool over a lock-free task queue.
+
+    The queue is the simplest structure that is linearizable and
+    contention-free enough for our task shapes: the tasks live in an
+    immutable array and workers claim indices with a single
+    [Atomic.fetch_and_add] — a Michael-Scott deque degenerates to exactly
+    this when tasks are only pushed once, up front. Each result slot is
+    written by the one worker that claimed its index, and [Domain.join]
+    publishes all slots to the caller, so no further synchronisation is
+    needed.
+
+    Determinism contract: results come back in {e task order}, never in
+    completion order, so callers observe the same value for any [jobs] —
+    only wall-clock changes. Tasks must not share mutable sanitizer state;
+    see the shard-ownership invariant in ARCHITECTURE.md. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()], at least 1 — what the CLI [--jobs]
+    flags default to. *)
+
+val run : jobs:int -> (unit -> 'a) array -> 'a array
+(** Run every task, [jobs] at a time, and return the results in task order.
+
+    [jobs] is clamped to [1 .. Array.length tasks]; with [jobs = 1] the
+    tasks run inline on the calling domain (no spawn), which is the serial
+    reference the determinism tests compare against. If tasks raise, the
+    remaining tasks still run to completion and the exception of the
+    {e lowest-indexed} failing task is re-raised — again independent of
+    scheduling. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] is [run] over [fun () -> f x], preserving list order. *)

@@ -1,0 +1,14 @@
+module Trace = Giantsan_telemetry.Trace
+
+type 'a traced = {
+  t_result : 'a;
+  t_events : (int * Giantsan_telemetry.Event.t) list;
+}
+
+let run_traced ?capacity ~jobs tasks =
+  Pool.run ~jobs
+    (Array.map
+       (fun task () ->
+         let t_result, t_events = Trace.with_capture ?capacity task in
+         { t_result; t_events })
+       tasks)

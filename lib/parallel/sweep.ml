@@ -1,0 +1,70 @@
+module Runner = Giantsan_workload.Runner
+module Export = Giantsan_telemetry.Export
+
+type cell = {
+  c_profile : Giantsan_workload.Specgen.profile;
+  c_config : Runner.config;
+}
+
+let cells ~profiles ~configs =
+  Array.of_list
+    (List.concat_map
+       (fun p -> List.map (fun c -> { c_profile = p; c_config = c }) configs)
+       profiles)
+
+type outcome = {
+  o_results : Runner.result array;
+  o_events : (int * Giantsan_telemetry.Event.t) list;
+}
+
+let check_permutation n order =
+  if Array.length order <> n then
+    invalid_arg "Sweep.run: order length mismatch";
+  let seen = Array.make n false in
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= n || seen.(i) then
+        invalid_arg "Sweep.run: order is not a permutation";
+      seen.(i) <- true)
+    order
+
+let run ?heap ?order ?(trace = false) ?capacity ~jobs ~profiles ~configs () =
+  let cells = cells ~profiles ~configs in
+  let n = Array.length cells in
+  let order =
+    match order with
+    | None -> Array.init n Fun.id
+    | Some o ->
+      check_permutation n o;
+      o
+  in
+  (* task j runs cell order.(j); de-permute afterwards so the outcome is in
+     canonical cell order no matter how submission was shuffled *)
+  let tasks =
+    Array.map
+      (fun idx () ->
+        let cell = cells.(idx) in
+        Runner.run_one ?heap cell.c_profile cell.c_config)
+      order
+  in
+  if trace then begin
+    let submitted = Shard.run_traced ?capacity ~jobs tasks in
+    let results = Array.make n None and events = Array.make n [] in
+    Array.iteri
+      (fun j (t : Runner.result Shard.traced) ->
+        results.(order.(j)) <- Some t.Shard.t_result;
+        events.(order.(j)) <- t.Shard.t_events)
+      submitted;
+    {
+      o_results = Array.map Option.get results;
+      o_events = Merge.resequence (Array.to_list events);
+    }
+  end
+  else begin
+    let submitted = Pool.run ~jobs tasks in
+    let results = Array.make n None in
+    Array.iteri (fun j r -> results.(order.(j)) <- Some r) submitted;
+    { o_results = Array.map Option.get results; o_events = [] }
+  end
+
+let ndjson outcome = Export.ndjson_lines outcome.o_events

@@ -1,0 +1,57 @@
+(** The sharded config × workload matrix — the paper's Table 2 sweep (and
+    the CI perf-gate sweep) partitioned across a domain pool.
+
+    One cell = one (profile, config) pair = one shard: [Runner.run_one]
+    already builds a private heap, shadow and sanitizer per call, so the
+    matrix is embarrassingly parallel once the module-level state it
+    touches is domain-safe (trace sink, folding template — see
+    DESIGN.md, "Concurrency model").
+
+    Results and merged telemetry always come back in {e canonical order}
+    (profile-major, config-minor over the input lists), whatever [jobs] is
+    and however submission was shuffled — so event counts, histograms and
+    NDJSON bytes are invariants of the matrix, not of the schedule. *)
+
+type cell = {
+  c_profile : Giantsan_workload.Specgen.profile;
+  c_config : Giantsan_workload.Runner.config;
+}
+
+val cells :
+  profiles:Giantsan_workload.Specgen.profile list ->
+  configs:Giantsan_workload.Runner.config list ->
+  cell array
+(** The canonical enumeration: profile-major, config-minor. *)
+
+type outcome = {
+  o_results : Giantsan_workload.Runner.result array;
+      (** one per cell, in canonical order *)
+  o_events : (int * Giantsan_telemetry.Event.t) list;
+      (** merged trace in canonical cell order, resequenced from 0; [[]]
+          unless [trace] was set *)
+}
+
+val run :
+  ?heap:Giantsan_memsim.Heap.config ->
+  ?order:int array ->
+  ?trace:bool ->
+  ?capacity:int ->
+  jobs:int ->
+  profiles:Giantsan_workload.Specgen.profile list ->
+  configs:Giantsan_workload.Runner.config list ->
+  unit ->
+  outcome
+(** Run the whole matrix, [jobs] cells at a time.
+
+    [order], when given, must be a permutation of the cell indices and
+    fixes the submission order (the determinism tests shuffle it);
+    results are de-permuted back to canonical order before returning.
+    [trace] captures each cell's events in a private per-shard ring of
+    [capacity] (default 65536, as in [Trace.enable]) and merges them with
+    {!Merge.resequence}.
+
+    @raise Invalid_argument if [order] is not a permutation. *)
+
+val ndjson : outcome -> string list
+(** The merged trace as NDJSON lines (byte-identical across [jobs] and
+    submission orders — the CI determinism diff relies on this). *)

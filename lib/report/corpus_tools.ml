@@ -13,58 +13,87 @@ let violations =
     Difftest.V_uaf; Difftest.V_double_free; Difftest.V_mid_free;
   ]
 
-let fuzz ~seed ~count =
+type fuzz_row = {
+  fr_label : string;
+  fr_expect : [ `All | `None | `Giantsan_only ];
+  fr_g : int;
+  fr_a : int;
+  fr_am : int;
+  fr_l : int;
+  fr_sb : int;
+  fr_n : int;
+}
+
+let fuzz ?(jobs = 1) ~seed ~count () =
   let buf = Buffer.create 2048 in
   let anomalies = ref [] in
   let note fmt = Printf.ksprintf (fun s -> anomalies := s :: !anomalies) fmt in
-  let detect_row label scenarios ~expect_asan_family =
-    let det tool = Harness.count_detected tool scenarios in
-    let sb =
-      List.length
-        (List.filter (Softbound.run_with_laundering ~launder_slots:[]) scenarios)
-    in
-    let g = det Harness.Giantsan
-    and a = det Harness.Asan
-    and am = det Harness.Asanmm
-    and l = det Harness.Lfp in
-    let n = List.length scenarios in
-    (match expect_asan_family with
-    | `All ->
-      if g < n then note "%s: GiantSan missed %d" label (n - g);
-      if a < n then note "%s: ASan missed %d" label (n - a);
-      if am < n then note "%s: ASan-- missed %d" label (n - am)
-    | `None ->
-      if g > 0 then note "%s: GiantSan false positives: %d" label g;
-      if a > 0 then note "%s: ASan false positives: %d" label a;
-      if am > 0 then note "%s: ASan-- false positives: %d" label am;
-      if l > 0 then note "%s: LFP false positives: %d" label l;
-      if sb > 0 then note "%s: SoftBound false positives: %d" label sb
-    | `Giantsan_only ->
-      if g < n then note "%s: GiantSan missed %d" label (n - g);
-      if a > 0 then note "%s: ASan unexpectedly caught %d" label a);
-    [
-      label; string_of_int g; string_of_int a; string_of_int am;
-      string_of_int l; string_of_int sb; string_of_int n;
-    ]
-  in
-  let clean =
-    List.init count (fun i -> Difftest.gen_clean ~seed:(seed + i))
-  in
-  let rows =
-    detect_row "clean" clean ~expect_asan_family:`None
+  (* one shard per population: generation and the five detection counts are
+     the expensive, side-effect-free part; anomaly notes and row rendering
+     stay serial and in population order, so output is identical for every
+     [jobs] *)
+  let populations =
+    ("clean", `None, `Clean)
     :: List.map
          (fun v ->
-           let scenarios =
-             List.init count (fun i -> Difftest.gen_buggy ~seed:(seed + i) v)
-           in
            let expect =
              match v with
              | Difftest.V_far_jump -> `Giantsan_only
              | _ -> `All
            in
-           detect_row (Difftest.violation_name v) scenarios
-             ~expect_asan_family:expect)
+           (Difftest.violation_name v, expect, `Buggy v))
          violations
+  in
+  let counted =
+    Giantsan_parallel.Pool.map ~jobs
+      (fun (fr_label, fr_expect, kind) ->
+        let scenarios =
+          List.init count (fun i ->
+              match kind with
+              | `Clean -> Difftest.gen_clean ~seed:(seed + i)
+              | `Buggy v -> Difftest.gen_buggy ~seed:(seed + i) v)
+        in
+        let det tool = Harness.count_detected tool scenarios in
+        let fr_sb =
+          List.length
+            (List.filter
+               (Softbound.run_with_laundering ~launder_slots:[])
+               scenarios)
+        in
+        {
+          fr_label; fr_expect;
+          fr_g = det Harness.Giantsan;
+          fr_a = det Harness.Asan;
+          fr_am = det Harness.Asanmm;
+          fr_l = det Harness.Lfp;
+          fr_sb;
+          fr_n = List.length scenarios;
+        })
+      populations
+  in
+  let rows =
+    List.map
+      (fun { fr_label = label; fr_expect; fr_g = g; fr_a = a; fr_am = am;
+             fr_l = l; fr_sb = sb; fr_n = n } ->
+        (match fr_expect with
+        | `All ->
+          if g < n then note "%s: GiantSan missed %d" label (n - g);
+          if a < n then note "%s: ASan missed %d" label (n - a);
+          if am < n then note "%s: ASan-- missed %d" label (n - am)
+        | `None ->
+          if g > 0 then note "%s: GiantSan false positives: %d" label g;
+          if a > 0 then note "%s: ASan false positives: %d" label a;
+          if am > 0 then note "%s: ASan-- false positives: %d" label am;
+          if l > 0 then note "%s: LFP false positives: %d" label l;
+          if sb > 0 then note "%s: SoftBound false positives: %d" label sb
+        | `Giantsan_only ->
+          if g < n then note "%s: GiantSan missed %d" label (n - g);
+          if a > 0 then note "%s: ASan unexpectedly caught %d" label a);
+        [
+          label; string_of_int g; string_of_int a; string_of_int am;
+          string_of_int l; string_of_int sb; string_of_int n;
+        ])
+      counted
   in
   Buffer.add_string buf
     (Printf.sprintf

@@ -1,12 +1,13 @@
 (** CLI-facing corpus utilities: differential fuzzing runs and corpus
     ground-truth validation. *)
 
-val fuzz : seed:int -> count:int -> string
+val fuzz : ?jobs:int -> seed:int -> count:int -> unit -> string
 (** Run [count] random clean scenarios and [count] scenarios per violation
     kind through all four tools plus the SoftBound-flavoured checker;
     render a detection matrix and a list of anomalies (false positives, or
     ASan-family misses of near-object violations). An empty anomaly list is
-    the expected steady state. *)
+    the expected steady state. [jobs] shards the populations across a
+    domain pool; the report is byte-identical for every value. *)
 
 val validate : unit -> string
 (** Re-validate the ground-truth labels of every generated corpus (Juliet,

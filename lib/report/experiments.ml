@@ -15,6 +15,7 @@ module Juliet = Giantsan_bugs.Juliet
 module Cves = Giantsan_bugs.Cves
 module Magma = Giantsan_bugs.Magma
 module Harness = Giantsan_bugs.Harness
+module Pool = Giantsan_parallel.Pool
 
 type outcome = { o_id : string; o_title : string; o_body : string }
 
@@ -150,7 +151,7 @@ let ratio_cell native_ns r =
   | Runner.Completed ->
     Table.fpct (Runner.overhead_pct ~native:native_ns ~sanitized:r.Runner.r_sim_ns)
 
-let table2 ?(quick = false) () =
+let table2 ?(quick = false) ?(jobs = 1) () =
   let profiles =
     if quick then
       List.filteri (fun i _ -> i mod 4 = 0) Profiles.all
@@ -178,10 +179,15 @@ let table2 ?(quick = false) () =
     in
     cell := r :: !cell
   in
+  (* profile rows are independent shards (each run builds its own heap and
+     shadow); the ratio bookkeeping below stays serial and in canonical
+     profile order, so the rendered table is identical for every [jobs] *)
+  let profile_results =
+    Pool.map ~jobs (fun p -> (p, Runner.run_profile ~configs p)) profiles
+  in
   let rows =
     List.map
-      (fun p ->
-        let results = Runner.run_profile ~configs p in
+      (fun (p, results) ->
         let native =
           List.find (fun r -> r.Runner.r_config = Runner.Native) results
         in
@@ -202,7 +208,7 @@ let table2 ?(quick = false) () =
         [ p.Specgen.p_name;
           Printf.sprintf "%.0f" (Profiles.native_seconds p.Specgen.p_name) ]
         @ cells)
-      profiles
+      profile_results
   in
   let geo_row =
     [ "Geometric Means"; "" ]
@@ -231,15 +237,17 @@ let table2 ?(quick = false) () =
 (* Figure 10                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let fig10 ?(quick = false) () =
+let fig10 ?(quick = false) ?(jobs = 1) () =
   let profiles =
     if quick then List.filteri (fun i _ -> i mod 4 = 0) Profiles.all
     else Profiles.all
   in
+  let results =
+    Pool.map ~jobs (fun p -> (p, Runner.run_one p Runner.Giantsan)) profiles
+  in
   let rows =
     List.map
-      (fun p ->
-        let r = Runner.run_one p Runner.Giantsan in
+      (fun (p, r) ->
         let s = Option.get r.Runner.r_stats in
         let total =
           s.Interp.x_plain + s.Interp.x_cached + s.Interp.x_eliminated
@@ -254,7 +262,7 @@ let fig10 ?(quick = false) () =
           Table.fpct (pct fast);
           Table.fpct (pct full);
         ])
-      profiles
+      results
   in
   let avg col =
     Stats.mean
@@ -717,14 +725,14 @@ let all_ids = [ "table1"; "table2"; "fig10"; "table3"; "table4"; "table5"; "fig1
 let extra_ids =
   [ "ablation-encoding"; "sweep-redzone"; "sweep-quarantine"; "compat" ]
 
-let run ?(quick = false) id =
+let run ?(quick = false) ?(jobs = 1) id =
   (* every experiment is a telemetry span: wall-clock + allocation stats
      land in the span log (and in summary.json under --telemetry) *)
   Giantsan_telemetry.Span.with_span ("experiment:" ^ id) (fun () ->
       match id with
       | "table1" -> table1 ()
-      | "table2" -> table2 ~quick ()
-      | "fig10" -> fig10 ~quick ()
+      | "table2" -> table2 ~quick ~jobs ()
+      | "fig10" -> fig10 ~quick ~jobs ()
       | "table3" -> table3 ()
       | "table4" -> table4 ()
       | "table5" -> table5 ~scale:(if quick then 20 else 1) ()
@@ -736,4 +744,4 @@ let run ?(quick = false) id =
       | "compat" -> compat ()
       | other -> invalid_arg ("Experiments.run: unknown experiment " ^ other))
 
-let run_all ?quick () = List.map (fun id -> run ?quick id) all_ids
+let run_all ?quick ?jobs () = List.map (fun id -> run ?quick ?jobs id) all_ids

@@ -14,12 +14,15 @@ type outcome = {
 val table1 : unit -> outcome
 (** Operation- vs instruction-level check counts on Table 1's four idioms. *)
 
-val table2 : ?quick:bool -> unit -> outcome
+val table2 : ?quick:bool -> ?jobs:int -> unit -> outcome
 (** SPEC-like overhead study incl. the ablation columns (§5.1, §5.2).
-    [quick] runs 6 of the 24 profiles (for smoke tests). *)
+    [quick] runs 6 of the 24 profiles (for smoke tests). [jobs] shards the
+    profile rows across a domain pool (default 1 = serial); the rendered
+    table is byte-identical for every value. *)
 
-val fig10 : ?quick:bool -> unit -> outcome
-(** Proportion of accesses per optimization category (§5.2). *)
+val fig10 : ?quick:bool -> ?jobs:int -> unit -> outcome
+(** Proportion of accesses per optimization category (§5.2). [jobs] as in
+    {!table2}. *)
 
 val table3 : unit -> outcome
 (** Juliet-shaped detection study (§5.3). *)
@@ -62,9 +65,11 @@ val all_ids : string list
 (** The paper's seven experiments. *)
 
 val extra_ids : string list
-val run : ?quick:bool -> string -> outcome
-(** Run one experiment by id (paper or extension). Raises
-    [Invalid_argument] on unknown ids. *)
 
-val run_all : ?quick:bool -> unit -> outcome list
+val run : ?quick:bool -> ?jobs:int -> string -> outcome
+(** Run one experiment by id (paper or extension). [jobs] parallelizes the
+    experiments that shard cleanly (currently [table2] and [fig10]); the
+    others ignore it. Raises [Invalid_argument] on unknown ids. *)
+
+val run_all : ?quick:bool -> ?jobs:int -> unit -> outcome list
 (** The paper's experiments, in order. *)

@@ -37,20 +37,29 @@ module Registry = struct
     c_hists : Histogram.set;
   }
 
+  (* [on] follows the initialized-before-fork discipline (flip it only while
+     no worker domain runs); [cells] is the one piece of cross-domain shared
+     state in the system, so pushes and reads go through a mutex. Snapshot
+     aggregation is commutative (counter addition, histogram merge) and the
+     result is sorted by name, so the summary is deterministic no matter
+     which domain registered first. *)
   let on = ref false
+  let lock = Mutex.create ()
   let cells : cell list ref = ref []
   let enable () = on := true
   let disable () = on := false
   let is_on () = !on
-  let clear () = cells := []
+  let clear () = Mutex.protect lock (fun () -> cells := [])
 
   let register t =
     if !on then
-      cells :=
-        { c_name = t.name; c_counters = t.counters; c_hists = t.hists }
-        :: !cells
+      Mutex.protect lock (fun () ->
+          cells :=
+            { c_name = t.name; c_counters = t.counters; c_hists = t.hists }
+            :: !cells)
 
   let snapshot () =
+    let cells = Mutex.protect lock (fun () -> !cells) in
     let by_name = Hashtbl.create 8 in
     List.iter
       (fun c ->
@@ -64,7 +73,7 @@ module Registry = struct
           Counters.add acc c.c_counters;
           Hashtbl.replace by_name c.c_name
             (acc, Histogram.merge_set hists c.c_hists))
-      !cells;
+      cells;
     Hashtbl.fold
       (fun name (acc, hists) l -> (name, Counters.to_assoc acc, hists) :: l)
       by_name []

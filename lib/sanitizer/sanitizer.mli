@@ -71,7 +71,15 @@ val free_error_report :
     that internally builds thousands of short-lived sanitizers, and then
     snapshot the per-tool aggregate counters and histograms for
     [summary.json]. Only the (name, counters, histograms) triple is
-    retained — never the heap — so registration is cheap. *)
+    retained — never the heap — so registration is cheap.
+
+    Registration from worker domains is mutex-protected (the cell list is
+    the only cross-domain shared state in the system); [enable]/[disable]
+    follow the initialized-before-fork discipline — flip them only while no
+    worker domain is running, and call [snapshot] only once workers have
+    been joined (the retained counter records are the runtimes' live,
+    unsynchronised ones). Aggregation is commutative and the result sorted,
+    so a parallel run snapshots exactly what the serial run would. *)
 module Registry : sig
   val enable : unit -> unit
   val disable : unit -> unit

@@ -5,7 +5,10 @@ type t = {
   sp_major_words : float;
 }
 
-let log : t list ref = ref []
+(* Domain-local like the Trace sink: spans recorded on a worker domain land
+   in that domain's log and do not race with the main domain's. *)
+let log_key : t list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+let log () = Domain.DLS.get log_key
 
 let with_span name f =
   Trace.emit_phase_begin ~name;
@@ -15,6 +18,7 @@ let with_span name f =
     ~finally:(fun () ->
       let t1 = Unix.gettimeofday () in
       let g1 = Gc.quick_stat () in
+      let log = log () in
       log :=
         {
           sp_name = name;
@@ -26,8 +30,8 @@ let with_span name f =
       Trace.emit_phase_end ~name)
     f
 
-let completed () = List.rev !log
-let reset () = log := []
+let completed () = List.rev !(log ())
+let reset () = log () := []
 
 let to_json t =
   Json.Obj

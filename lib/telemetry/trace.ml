@@ -1,58 +1,80 @@
 let default_capacity = 65536
-let on = ref false
-let buf = ref (Ring.create ~capacity:default_capacity)
 
-let is_on () = !on
+(* One sink per domain (Domain.DLS): each worker domain spawned by the
+   parallel engine gets its own switch + ring, so runtimes may emit from any
+   domain without synchronisation and one shard's capture can never observe
+   another shard's events. A freshly spawned domain starts with tracing off,
+   which also keeps the disabled fast path allocation-free there. *)
+type sink = { mutable on : bool; mutable buf : Event.t Ring.t }
+
+let sink_key =
+  (* the placeholder ring is never pushed to while [on] is false; [enable]
+     installs a real one *)
+  Domain.DLS.new_key (fun () -> { on = false; buf = Ring.create ~capacity:1 })
+
+let sink () = Domain.DLS.get sink_key
+
+let is_on () = (sink ()).on
 
 let enable ?(capacity = default_capacity) () =
-  buf := Ring.create ~capacity;
-  on := true
+  let s = sink () in
+  s.buf <- Ring.create ~capacity;
+  s.on <- true
 
-let disable () = on := false
-let clear () = Ring.clear !buf
-let events () = Ring.to_seq_list !buf
-let emitted () = Ring.pushed !buf
-let dropped () = Ring.dropped !buf
+let disable () = (sink ()).on <- false
+let clear () = Ring.clear (sink ()).buf
+let events () = Ring.to_seq_list (sink ()).buf
+let emitted () = Ring.pushed (sink ()).buf
+let dropped () = Ring.dropped (sink ()).buf
 
 let with_capture ?(capacity = default_capacity) f =
-  let saved_on = !on and saved_buf = !buf in
-  buf := Ring.create ~capacity;
-  on := true;
+  let s = sink () in
+  let saved_on = s.on and saved_buf = s.buf in
+  s.buf <- Ring.create ~capacity;
+  s.on <- true;
   Fun.protect
     ~finally:(fun () ->
-      on := saved_on;
-      buf := saved_buf)
+      let s = sink () in
+      s.on <- saved_on;
+      s.buf <- saved_buf)
     (fun () ->
       let r = f () in
-      (r, Ring.to_seq_list !buf))
+      (r, Ring.to_seq_list (sink ()).buf))
 
 (* Each emitter checks the switch before constructing the event, so the
    disabled path performs no allocation. *)
 
 let emit_malloc ~tool ~base ~size ~kind =
-  if !on then Ring.push !buf (Event.Malloc { tool; base; size; kind })
+  let s = sink () in
+  if s.on then Ring.push s.buf (Event.Malloc { tool; base; size; kind })
 
 let emit_free ~tool ~addr =
-  if !on then Ring.push !buf (Event.Free { tool; addr })
+  let s = sink () in
+  if s.on then Ring.push s.buf (Event.Free { tool; addr })
 
 let emit_access ~tool ~addr ~width ~fast =
-  if !on then
-    Ring.push !buf
+  let s = sink () in
+  if s.on then
+    Ring.push s.buf
       (Event.Access
          { tool; addr; width; path = (if fast then Event.Fast else Event.Slow) })
 
 let emit_shadow_load ~tool ~count =
-  if !on then Ring.push !buf (Event.Shadow_load { tool; count })
+  let s = sink () in
+  if s.on then Ring.push s.buf (Event.Shadow_load { tool; count })
 
 let emit_cache_hit ~tool ~off =
-  if !on then Ring.push !buf (Event.Cache_hit { tool; off })
+  let s = sink () in
+  if s.on then Ring.push s.buf (Event.Cache_hit { tool; off })
 
 let emit_cache_update ~tool ~ub =
-  if !on then Ring.push !buf (Event.Cache_update { tool; ub })
+  let s = sink () in
+  if s.on then Ring.push s.buf (Event.Cache_update { tool; ub })
 
 let emit_region_check ~tool ~lo ~hi ~fast ~loads =
-  if !on then
-    Ring.push !buf
+  let s = sink () in
+  if s.on then
+    Ring.push s.buf
       (Event.Region_check
          {
            tool; lo; hi;
@@ -61,10 +83,13 @@ let emit_region_check ~tool ~lo ~hi ~fast ~loads =
          })
 
 let emit_report ~tool ~kind ~addr =
-  if !on then Ring.push !buf (Event.Report { tool; kind; addr })
+  let s = sink () in
+  if s.on then Ring.push s.buf (Event.Report { tool; kind; addr })
 
 let emit_phase_begin ~name =
-  if !on then Ring.push !buf (Event.Phase_begin { name })
+  let s = sink () in
+  if s.on then Ring.push s.buf (Event.Phase_begin { name })
 
 let emit_phase_end ~name =
-  if !on then Ring.push !buf (Event.Phase_end { name })
+  let s = sink () in
+  if s.on then Ring.push s.buf (Event.Phase_end { name })

@@ -1,13 +1,22 @@
-(** The global event sink: one process-wide bounded ring the runtimes emit
-    into. Disabled by default, and the disabled path is a no-op that
-    allocates nothing — the [emit_*] entry points take their payloads as
-    immediate arguments and only build the event value once the switch has
-    been checked, so an instrumented hot loop pays a single load-and-branch
-    when tracing is off (verified by the zero-allocation test).
+(** The event sink: one bounded ring {e per domain} the runtimes emit into.
+    Disabled by default, and the disabled path is a no-op that allocates
+    nothing — the [emit_*] entry points take their payloads as immediate
+    arguments and only build the event value once the switch has been
+    checked, so an instrumented hot loop pays a load-and-branch when tracing
+    is off (verified by the zero-allocation test).
 
     The same switch gates histogram observation in the runtimes: when
     [is_on] is false the sanitizers run exactly the pre-telemetry code
-    paths. *)
+    paths.
+
+    {b Concurrency.} The sink lives in domain-local storage
+    ([Domain.DLS]): every function below reads and mutates only the calling
+    domain's switch and ring. A freshly spawned domain starts with tracing
+    off, so worker domains emit nothing until they opt in — the parallel
+    engine ({!Giantsan_parallel.Shard}) wraps each shard in [with_capture]
+    to give it a private ring, and merges the captured event lists
+    deterministically afterwards. Nothing here is shared across domains, so
+    no locking is needed and the serial fast path is unchanged. *)
 
 val is_on : unit -> bool
 
@@ -19,7 +28,8 @@ val disable : unit -> unit
 val clear : unit -> unit
 
 val events : unit -> (int * Event.t) list
-(** Retained events, oldest first, each with its global sequence number. *)
+(** Retained events of the calling domain's sink, oldest first, each with
+    its per-sink sequence number. *)
 
 val emitted : unit -> int
 (** Total events emitted since [enable]/[clear] (monotonic through
@@ -30,7 +40,8 @@ val dropped : unit -> int
 val with_capture : ?capacity:int -> (unit -> 'a) -> 'a * (int * Event.t) list
 (** Run the thunk with tracing on in a private fresh ring, restoring the
     previous sink state afterwards (even on exceptions), and return the
-    thunk's result with the captured events. *)
+    thunk's result with the captured events. Per-domain, like everything
+    else here: captures on different domains never interleave. *)
 
 (** {1 Emission points} — free functions so call sites stay one line. *)
 

@@ -32,6 +32,9 @@ type weights = {
 }
 
 val default : weights
+(** The calibrated weights used everywhere in the repo; changing them
+    invalidates the committed bench baseline (see EXPERIMENTS.md on
+    re-baselining). *)
 
 type input = {
   ops : int;

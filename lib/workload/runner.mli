@@ -10,8 +10,13 @@ type config =
   | Giantsan
   | Cache_only  (** ablation: GiantSan with history caching only *)
   | Elim_only  (** ablation: GiantSan with check elimination only *)
+      (** The sanitizer configurations of Table 2 ([Native] through
+          [Giantsan]) plus the §5.2 ablations. *)
 
 val config_name : config -> string
+(** Stable lowercase name used in reports, telemetry and NDJSON
+    (["native"], ["asan"], ["asan--"], ["lfp"], ["giantsan"], ...). *)
+
 val all_configs : config list
 (** Native first, then the sanitizers, then the two ablations. *)
 
@@ -21,6 +26,9 @@ val make_sanitizer :
     settings. *)
 
 val instrument_mode : config -> Giantsan_analysis.Instrument.mode
+(** How the static pipeline lowers checks for this configuration
+    (e.g. [Elim_only] keeps elimination/promotion but never emits
+    cached accesses). *)
 
 type status =
   | Completed
@@ -42,6 +50,17 @@ type result = {
 
 val run_one :
   ?heap:Giantsan_memsim.Heap.config -> Specgen.profile -> config -> result
+(** Execute one (profile, configuration) cell: build a fresh private
+    sanitizer via {!make_sanitizer}, generate the profile's program,
+    instrument and interpret it, and fold the event counts through the
+    cost model. Deterministic — same inputs, bit-identical [result] —
+    and self-contained, so cells may run on concurrent domains
+    ({!Giantsan_parallel.Sweep}). *)
 
 val run_profile : ?configs:config list -> Specgen.profile -> result list
+(** [run_one] for each configuration ([all_configs] by default), in
+    order. *)
+
 val overhead_pct : native:float -> sanitized:float -> float
+(** Percent slowdown relative to native, Table 2's headline number:
+    [(sanitized / native - 1) * 100]. *)

@@ -1,0 +1,236 @@
+(* The sharded execution engine: pool semantics, shard trace isolation,
+   and the load-bearing property of the whole subsystem — a parallel run
+   merges to output byte-identical to the serial run, for any jobs value
+   and any submission order. *)
+
+module Pool = Giantsan_parallel.Pool
+module Shard = Giantsan_parallel.Shard
+module Merge = Giantsan_parallel.Merge
+module Sweep = Giantsan_parallel.Sweep
+module Runner = Giantsan_workload.Runner
+module Profiles = Giantsan_workload.Profiles
+module Specgen = Giantsan_workload.Specgen
+module Counters = Giantsan_sanitizer.Counters
+module San = Giantsan_sanitizer.Sanitizer
+module Histogram = Giantsan_telemetry.Histogram
+module Json = Giantsan_telemetry.Json
+module Trace = Giantsan_telemetry.Trace
+module Rng = Giantsan_util.Rng
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_order () =
+  let tasks = Array.init 37 (fun i () -> i * i) in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "results in task order (jobs=%d)" jobs)
+        (Array.init 37 (fun i -> i * i))
+        (Pool.run ~jobs tasks))
+    [ 1; 2; 4; 64 ]
+
+let test_pool_edges () =
+  Alcotest.(check (array int)) "empty" [||] (Pool.run ~jobs:4 [||]);
+  Alcotest.(check (array int))
+    "jobs clamped up from 0" [| 7 |]
+    (Pool.run ~jobs:0 [| (fun () -> 7) |]);
+  Alcotest.(check (list int))
+    "map preserves order" [ 2; 4; 6 ]
+    (Pool.map ~jobs:3 (fun x -> 2 * x) [ 1; 2; 3 ])
+
+exception Boom of int
+
+let test_pool_exn () =
+  let ran = Atomic.make 0 in
+  let tasks =
+    Array.init 16 (fun i () ->
+        if i = 11 || i = 3 then raise (Boom i)
+        else begin
+          Atomic.incr ran;
+          i
+        end)
+  in
+  (match Pool.run ~jobs:4 tasks with
+  | _ -> Alcotest.fail "expected Boom"
+  | exception Boom i ->
+    Alcotest.(check int) "lowest failing index re-raised" 3 i);
+  Alcotest.(check int) "non-failing tasks all completed" 14 (Atomic.get ran)
+
+(* ------------------------------------------------------------------ *)
+(* Shard trace isolation                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_shard_isolation () =
+  let tasks =
+    Array.init 6 (fun i () ->
+        for k = 0 to i do
+          Trace.emit_free ~tool:(Printf.sprintf "shard%d" i) ~addr:k
+        done;
+        i)
+  in
+  let traced = Shard.run_traced ~jobs:3 tasks in
+  Array.iteri
+    (fun i (t : int Shard.traced) ->
+      Alcotest.(check int) "result" i t.Shard.t_result;
+      Alcotest.(check int)
+        "each shard saw exactly its own events" (i + 1)
+        (List.length t.Shard.t_events);
+      List.iteri
+        (fun k (seq, ev) ->
+          Alcotest.(check int) "per-shard seq from 0" k seq;
+          match ev with
+          | Giantsan_telemetry.Event.Free { tool; _ } ->
+            Alcotest.(check string) "no cross-shard leak"
+              (Printf.sprintf "shard%d" i) tool
+          | _ -> Alcotest.fail "unexpected event")
+        t.Shard.t_events)
+    traced;
+  Alcotest.(check bool)
+    "main-domain sink untouched by shards" false (Trace.is_on ())
+
+let test_merge_resequence () =
+  let mk tool n =
+    List.init n (fun k ->
+        (k, Giantsan_telemetry.Event.Free { tool; addr = k }))
+  in
+  let merged = Merge.resequence [ mk "a" 2; []; mk "b" 3 ] in
+  Alcotest.(check (list int))
+    "global seq renumbered" [ 0; 1; 2; 3; 4 ]
+    (List.map fst merged);
+  Alcotest.(check (list string))
+    "shard-major order"
+    [ "a"; "a"; "b"; "b"; "b" ]
+    (List.map
+       (function
+         | _, Giantsan_telemetry.Event.Free { tool; _ } -> tool
+         | _ -> "?")
+       merged)
+
+(* ------------------------------------------------------------------ *)
+(* Sweep determinism: the qcheck property                              *)
+(* ------------------------------------------------------------------ *)
+
+(* tiny profiles so a property trial runs the matrix twice in milliseconds *)
+let tiny p = { p with Specgen.p_phases = 2; p_iters = 24 }
+
+let result_fingerprint (r : Runner.result) =
+  ( ( r.Runner.r_profile,
+      Runner.config_name r.Runner.r_config,
+      r.Runner.r_status = Runner.Completed,
+      r.Runner.r_ops ),
+    ( r.Runner.r_shadow_loads,
+      r.Runner.r_shadow_stores,
+      r.Runner.r_reports,
+      Counters.to_assoc r.Runner.r_counters,
+      (* sim_ns is a pure function of the counts: require bitwise equality *)
+      Int64.bits_of_float r.Runner.r_sim_ns ) )
+
+let sweep_fingerprint (o : Sweep.outcome) =
+  ( Array.to_list (Array.map result_fingerprint o.Sweep.o_results),
+    Sweep.ndjson o )
+
+let prop_sweep_deterministic =
+  QCheck.Test.make ~count:8 ~name:"parallel sweep == serial sweep"
+    QCheck.(
+      triple (int_bound 1000) (oneofl [ 2; 3; 4 ]) (int_bound 3))
+    (fun (shuffle_seed, jobs, profile_skip) ->
+      let profiles =
+        List.filteri
+          (fun i _ -> i mod (2 + profile_skip) = 0)
+          (List.map tiny Profiles.all)
+      in
+      let configs = Runner.all_configs in
+      let n = List.length profiles * List.length configs in
+      let serial = Sweep.run ~trace:true ~capacity:256 ~jobs:1 ~profiles ~configs () in
+      let order = Array.init n Fun.id in
+      Rng.shuffle (Rng.create shuffle_seed) order;
+      let parallel =
+        Sweep.run ~order ~trace:true ~capacity:256 ~jobs ~profiles ~configs ()
+      in
+      sweep_fingerprint serial = sweep_fingerprint parallel)
+
+let test_sweep_bad_order () =
+  let profiles = [ tiny (List.hd Profiles.all) ] in
+  let configs = [ Runner.Native ] in
+  Alcotest.check_raises "not a permutation"
+    (Invalid_argument "Sweep.run: order is not a permutation") (fun () ->
+      ignore (Sweep.run ~order:[| 0; 0 |] ~jobs:2 ~profiles ~configs:(Runner.Native :: configs) ()))
+
+(* ------------------------------------------------------------------ *)
+(* Registry aggregation across domains                                 *)
+(* ------------------------------------------------------------------ *)
+
+let snapshot_fingerprint snap =
+  List.map
+    (fun (name, counters, hists) ->
+      (name, counters, Json.to_string (Histogram.set_to_json hists)))
+    snap
+
+let registry_sweep ~jobs =
+  San.Registry.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      San.Registry.disable ();
+      San.Registry.clear ())
+    (fun () ->
+      let profiles =
+        List.filteri (fun i _ -> i mod 6 = 0) (List.map tiny Profiles.all)
+      in
+      ignore
+        (Sweep.run ~trace:true ~capacity:64 ~jobs ~profiles
+           ~configs:Runner.all_configs ());
+      snapshot_fingerprint (San.Registry.snapshot ()))
+
+let test_registry_parallel () =
+  let serial = registry_sweep ~jobs:1 in
+  let parallel = registry_sweep ~jobs:4 in
+  Alcotest.(check bool) "snapshot non-empty" true (serial <> []);
+  Alcotest.(check bool)
+    "per-tool counters+histograms identical under sharding" true
+    (serial = parallel)
+
+(* ------------------------------------------------------------------ *)
+(* Two concurrent sweeps: module-level state stays uncorrupted         *)
+(* ------------------------------------------------------------------ *)
+
+let test_concurrent_sweeps () =
+  let profiles =
+    List.filteri (fun i _ -> i mod 8 = 0) (List.map tiny Profiles.all)
+  in
+  let configs = [ Runner.Giantsan; Runner.Asan ] in
+  let expected =
+    sweep_fingerprint
+      (Sweep.run ~trace:true ~capacity:128 ~jobs:1 ~profiles ~configs ())
+  in
+  (* two whole sweeps racing on two domains — exercises the domain-local
+     folding template and trace sink under genuine concurrency *)
+  let both =
+    Pool.run ~jobs:2
+      (Array.make 2 (fun () ->
+           sweep_fingerprint
+             (Sweep.run ~trace:true ~capacity:128 ~jobs:1 ~profiles ~configs ())))
+  in
+  Array.iteri
+    (fun i got ->
+      Alcotest.(check bool)
+        (Printf.sprintf "concurrent sweep %d matches serial" i)
+        true (got = expected))
+    both
+
+let suite =
+  ( "parallel",
+    [
+      Alcotest.test_case "pool: results in task order" `Quick test_pool_order;
+      Alcotest.test_case "pool: edge cases" `Quick test_pool_edges;
+      Alcotest.test_case "pool: deterministic exception" `Quick test_pool_exn;
+      Alcotest.test_case "shard: private traces" `Quick test_shard_isolation;
+      Alcotest.test_case "merge: resequence" `Quick test_merge_resequence;
+      QCheck_alcotest.to_alcotest prop_sweep_deterministic;
+      Alcotest.test_case "sweep: rejects bad order" `Quick test_sweep_bad_order;
+      Alcotest.test_case "registry: parallel == serial" `Quick
+        test_registry_parallel;
+      Alcotest.test_case "concurrent sweeps don't corrupt" `Quick
+        test_concurrent_sweeps;
+    ] )

@@ -48,7 +48,7 @@ let test_run_dispatch () =
       ignore (Experiments.run "nope"))
 
 let test_fuzz_tool_is_anomaly_free () =
-  let body = Giantsan_report.Corpus_tools.fuzz ~seed:42 ~count:25 in
+  let body = Giantsan_report.Corpus_tools.fuzz ~seed:42 ~count:25 () in
   Alcotest.(check bool) "matrix rendered" true (contains body "far-jump");
   Alcotest.(check bool) "no anomalies" true (contains body "No anomalies")
 
