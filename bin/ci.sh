@@ -87,6 +87,45 @@ if ! cmp -s "$tmpdir/sweep_serial.norm" "$tmpdir/sweep_par.norm"; then
 fi
 echo "byte-identical NDJSON and summary across jobs=1 and jobs=2"
 
+echo "== chaos smoke (fixed seed, vs committed expectation) =="
+# The fault-injection matrix is byte-deterministic for a fixed seed, so it
+# diffs against a checked-in expectation — and must reproduce identically
+# under --jobs 2 (cells are independent; results render in cell order).
+dune exec bin/main.exe -- chaos --seed 42 > "$tmpdir/chaos1.txt"
+if ! cmp -s test/expect/chaos_seed42.txt "$tmpdir/chaos1.txt"; then
+  echo "FAIL: chaos output drifted from test/expect/chaos_seed42.txt" >&2
+  diff test/expect/chaos_seed42.txt "$tmpdir/chaos1.txt" >&2 || true
+  exit 1
+fi
+dune exec bin/main.exe -- chaos --seed 42 --jobs 2 > "$tmpdir/chaos2.txt"
+if ! cmp -s "$tmpdir/chaos1.txt" "$tmpdir/chaos2.txt"; then
+  echo "FAIL: chaos output differs between jobs=1 and jobs=2" >&2
+  diff "$tmpdir/chaos1.txt" "$tmpdir/chaos2.txt" >&2 || true
+  exit 1
+fi
+echo "byte-identical chaos matrix across jobs=1 and jobs=2"
+
+echo "== exit-code conventions =="
+# 0 success, 1 findings/contract violation, 2 corrupt input, 3 OOM,
+# 124 CLI misuse. Bad input and exhaustion must end in a diagnostic and a
+# distinct code, never an uncaught exception trace.
+assert_exit() {
+  want=$1; shift
+  rc=0
+  "$@" > /dev/null 2>&1 || rc=$?
+  if [ "$rc" -ne "$want" ]; then
+    echo "FAIL: '$*' exited $rc, expected $want" >&2
+    exit 1
+  fi
+}
+printf 'alloc 0 not-a-size heap\n' > "$tmpdir/corrupt.scn"
+assert_exit 2 dune exec bin/main.exe -- trace "$tmpdir/corrupt.scn"
+printf '{"broken\n' > "$tmpdir/corrupt.ndjson"
+assert_exit 2 dune exec bin/main.exe -- check-ndjson "$tmpdir/corrupt.ndjson"
+assert_exit 3 dune exec bin/main.exe -- chaos --oom-demo
+assert_exit 124 dune exec bin/main.exe -- no-such-subcommand
+echo "exit codes 2/3/124 as documented"
+
 echo "== perf gate (vs BENCH_giantsan.json baseline) =="
 # The deterministic profile sweep only: event counts must reproduce the
 # committed baseline exactly, ns/op within ±25%. Wall-clock bechamel

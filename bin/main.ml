@@ -232,7 +232,7 @@ let replay_cmd =
       const (fun dir ->
           if not (Sys.file_exists dir && Sys.is_directory dir) then begin
             Printf.eprintf "replay: no such corpus directory: %s\n" dir;
-            1
+            2
           end
           else begin
             let results = Giantsan_fuzz.Engine.replay ~dir in
@@ -270,7 +270,7 @@ let trace_cmd =
           match Giantsan_fuzz.Corpus.load_file file with
           | Error e ->
             Printf.eprintf "trace: %s: %s\n" file e;
-            1
+            2
           | Ok sc ->
             let lines = Giantsan_fuzz.Exec.capture_trace sc in
             List.iter print_endline lines;
@@ -300,7 +300,7 @@ let check_ndjson_cmd =
           match In_channel.with_open_text file In_channel.input_all with
           | exception Sys_error e ->
             Printf.eprintf "check-ndjson: %s\n" e;
-            1
+            2
           | text -> (
             match Giantsan_telemetry.Export.check_ndjson text with
             | Ok n ->
@@ -308,7 +308,7 @@ let check_ndjson_cmd =
               0
             | Error e ->
               Printf.eprintf "check-ndjson: %s: %s\n" file e;
-              1))
+              2))
       $ file)
 
 let bench_compare_cmd =
@@ -479,6 +479,73 @@ let sweep_cmd =
           0)
       $ jobs_default_parallel $ quick $ shuffle $ ndjson $ capacity)
 
+(* Catch allocator exhaustion inside the term (cmdliner would otherwise
+   convert the escaping exception into its generic 125): diagnostic on
+   stderr, distinct exit code 3, never a backtrace. *)
+let guard_oom f =
+  try f ()
+  with Out_of_memory ->
+    Printf.eprintf
+      "giantsan-repro: out of memory (arena exhausted beyond graceful \
+       degradation)\n";
+    3
+
+let chaos_cmd =
+  let doc =
+    "Run the deterministic fault-injection matrix: seeded faults across \
+     four planes (shadow corruption, allocator pressure, execution \
+     faults, corrupt inputs), each checked against its degradation \
+     contract by a shadow-vs-oracle audit. Output is byte-identical for a \
+     fixed $(b,--seed) across runs and across $(b,--jobs). Exits 0 when \
+     the contract holds, 1 on any silent corruption."
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Fault-matrix seed; every knob in the schedule derives from it.")
+  in
+  let soak =
+    Arg.(
+      value & opt int 1
+      & info [ "soak" ] ~docv:"ROUNDS"
+          ~doc:
+            "Repeat the matrix over $(docv) derived seeds and append \
+             aggregate counters (soak mode).")
+  in
+  let oom_demo =
+    Arg.(
+      value & flag
+      & info [ "oom-demo" ]
+          ~doc:
+            "Exhaust a tiny arena past graceful degradation and let the \
+             resulting $(b,Out_of_memory) reach the top level (exit-code \
+             demo: must exit 3 with a diagnostic, never a backtrace).")
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(
+      const (fun seed jobs soak oom_demo out ->
+          guard_oom (fun () ->
+              if oom_demo then begin
+                let module Heap = Giantsan_memsim.Heap in
+                let heap =
+                  Heap.create
+                    { Heap.arena_size = 2048; redzone = 16;
+                      quarantine_budget = 0 }
+                in
+                ignore (Heap.malloc heap 4096);
+                0
+              end
+              else begin
+                let report, held =
+                  Giantsan_chaos.Engine.run ~soak ~seed ~jobs ()
+                in
+                print_string report;
+                write_out out report;
+                if held then 0 else 1
+              end))
+      $ seed $ jobs_arg $ soak $ oom_demo $ out_file)
+
 let validate_cmd =
   let doc = "Re-validate the ground-truth labels of every generated corpus." in
   Cmd.v (Cmd.info "validate" ~doc)
@@ -500,10 +567,23 @@ let () =
   let cmds =
     all_cmd :: extras_cmd :: fuzz_cmd :: fuzz_matrix_cmd :: replay_cmd
     :: trace_cmd :: check_ndjson_cmd :: bench_compare_cmd :: sweep_cmd
-    :: validate_cmd
+    :: chaos_cmd :: validate_cmd
     :: List.map
          (fun id -> experiment_cmd id id)
          (Giantsan_report.Experiments.all_ids
          @ Giantsan_report.Experiments.extra_ids)
   in
-  exit (Cmd.eval' (Cmd.group info cmds))
+  (* Exit-code conventions (documented in README):
+     0 success; 1 findings / contract violation; 2 unreadable or corrupt
+     input; 3 out of memory; 124/125 cmdliner CLI misuse / internal error.
+     Allocator exhaustion past graceful degradation must end in a
+     diagnostic and a distinct code, never an uncaught exception trace. *)
+  let code =
+    try Cmd.eval' (Cmd.group info cmds)
+    with Out_of_memory ->
+      Printf.eprintf
+        "giantsan-repro: out of memory (arena exhausted beyond graceful \
+         degradation)\n";
+      3
+  in
+  exit code

@@ -34,6 +34,7 @@ let region_is_safe m ~lo ~hi =
 let create_exposed_named name config =
   let heap = Memsim.Heap.create config in
   let m = Shadow_mem.of_heap heap ~fill:E.unallocated in
+  Memsim.Heap.set_evict_hook heap (E.poison_evict m);
   let counters = Counters.create () in
   let hists = Histogram.create_set () in
   let report ?base ~addr ~size () =

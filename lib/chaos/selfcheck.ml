@@ -1,0 +1,84 @@
+module Memsim = Giantsan_memsim
+module Memobj = Memsim.Memobj
+module Shadow_mem = Giantsan_shadow.Shadow_mem
+module State_code = Giantsan_core.State_code
+module Folding = Giantsan_core.Folding
+
+type mismatch_class = Overclaim | Underclaim | Drift
+
+let class_name = function
+  | Overclaim -> "overclaim"
+  | Underclaim -> "underclaim"
+  | Drift -> "drift"
+
+type mismatch = {
+  seg : int;
+  expected : int;
+  actual : int;
+  cls : mismatch_class;
+}
+
+(* The GiantSan shadow is a pure function of the heap's ground truth: for
+   every segment, the owning object's kind, status and geometry determine
+   the one code the poisoning pass must have written (left redzone, folded
+   good run with degree [degree_at (count - j)], trailing partial, right
+   redzone; freed codes over a quarantined object's payload; unallocated
+   where no object owns the segment). Recomputing that function and
+   comparing byte-for-byte is the self-check: any divergence — injected or
+   organic — is a corruption, because no legal operation sequence can
+   produce it. *)
+let expected_code heap seg =
+  let oracle = Memsim.Heap.oracle heap in
+  match Memsim.Oracle.owner oracle (seg * 8) with
+  | None -> State_code.unallocated
+  | Some obj -> (
+    match obj.Memobj.status with
+    | Memobj.Recycled ->
+      (* recycled blocks have their owner cleared; a stale owner here would
+         itself be an oracle bug, surfaced as a mismatch *)
+      State_code.unallocated
+    | (Memobj.Live | Memobj.Quarantined) as st ->
+      let base_seg = obj.Memobj.base / 8 in
+      let full = obj.Memobj.size / 8 in
+      let rem = obj.Memobj.size mod 8 in
+      let rz = State_code.redzone_code obj.Memobj.kind in
+      if seg < base_seg then rz
+      else if seg < base_seg + full then (
+        match st with
+        | Memobj.Live ->
+          State_code.folded
+            (Folding.degree_at ~good_segments:(base_seg + full - seg))
+        | _ -> State_code.freed)
+      else if seg = base_seg + full && rem > 0 then (
+        match st with
+        | Memobj.Live -> State_code.partial rem
+        | _ -> State_code.freed)
+      else rz)
+
+let classify ~expected ~actual =
+  let ea = State_code.addressable_in_segment expected
+  and aa = State_code.addressable_in_segment actual in
+  let ec = State_code.covered_bytes expected
+  and ac = State_code.covered_bytes actual in
+  if aa > ea || ac > ec then Overclaim
+  else if aa < ea || ac < ec then Underclaim
+  else Drift
+
+let run ~heap ~shadow =
+  let n = Shadow_mem.segments shadow in
+  let out = ref [] in
+  for seg = n - 1 downto 0 do
+    let expected = expected_code heap seg in
+    (* peek, not load: the self-check is an out-of-band audit and must not
+       perturb the event-count-derived cost model *)
+    let actual = Shadow_mem.peek shadow seg in
+    if actual <> expected then
+      out := { seg; expected; actual; cls = classify ~expected ~actual } :: !out
+  done;
+  !out
+
+let mismatch_to_string m =
+  Printf.sprintf "seg %d: expected %s, found %s (%s)" m.seg
+    (State_code.describe m.expected)
+    (State_code.describe m.actual)
+    (class_name m.cls)

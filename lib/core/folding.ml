@@ -6,11 +6,27 @@ let degree_at ~good_segments =
   assert (good_segments >= 1);
   min (Bitops.log2_floor good_segments) State_code.max_degree
 
-(* Read on every poison; written only by tests and the fuzzer's self-test
-   harness. Initialized-before-fork: flip it only while no worker domain is
-   running (the parallel engine never mutates it), so concurrent readers
-   always observe a quiescent value. *)
-let misfold_for_testing = ref false
+(* Scheduled fault plan for the poison kernels. Domain-local so parallel
+   chaos cells can each arm their own fault without racing: a worker domain
+   arms a fault for one task and disarms it before the next, and no other
+   domain ever observes the flip. *)
+type fault =
+  | Overstate_last of int
+      (* the final segment of every good run claims this folding degree
+         instead of 0, vouching for [2^d - 1] segments past the object's
+         end: a silent detection-window shrink, never a false positive *)
+
+let fault_key : fault option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let set_fault f = Domain.DLS.get fault_key := f
+let current_fault () = !(Domain.DLS.get fault_key)
+
+let with_fault f body =
+  let cell = Domain.DLS.get fault_key in
+  let saved = !cell in
+  cell := f;
+  Fun.protect ~finally:(fun () -> cell := saved) body
 
 let poison_good_run_scalar m ~first_seg ~count =
   (* Incremental floor-log2: walking j upward, [remaining = count - j]
@@ -19,6 +35,7 @@ let poison_good_run_scalar m ~first_seg ~count =
      poisoning pass linear, matching the paper's claim that the richer
      encoding costs no extra update time. *)
   if count > 0 then begin
+    let fault = current_fault () in
     let d = ref (degree_at ~good_segments:count) in
     let remaining = ref count in
     for seg = first_seg to first_seg + count - 1 do
@@ -26,12 +43,15 @@ let poison_good_run_scalar m ~first_seg ~count =
         decr d
       done;
       let degree =
-        (* Seeded bug for the fuzzer's self-test: the last segment of the
-           run claims degree 1 instead of 0, vouching for one segment past
-           the object's end. Overstated folds never cause false positives;
-           they silently shrink the detection window, which is exactly the
-           divergence the differential fuzzer must be able to find. *)
-        if !misfold_for_testing && !remaining = 1 then 1 else !d
+        (* Seeded bug for the fuzzer's self-test and the chaos engine: the
+           last segment of the run claims an inflated degree, vouching for
+           segments past the object's end. Overstated folds never cause
+           false positives; they silently shrink the detection window,
+           which is exactly the divergence the differential fuzzer and the
+           shadow-vs-oracle self-check must be able to find. *)
+        match fault with
+        | Some (Overstate_last od) when !remaining = 1 -> od
+        | _ -> !d
       in
       Shadow_mem.set m seg (State_code.folded degree);
       decr remaining
@@ -74,15 +94,16 @@ let poison_good_run m ~first_seg ~count =
   if count > 0 then begin
     let tmpl = template_for count in
     let pat_off = Bytes.length tmpl - count in
-    if !misfold_for_testing then begin
+    match current_fault () with
+    | Some (Overstate_last od) ->
       (* same shadow and same store count as the scalar kernel: the run
          minus its last segment is template-blitted, then the overstated
          final degree is one counted store *)
       Shadow_mem.blit_pattern m ~lo:first_seg ~pattern:tmpl ~pat_off
         ~len:(count - 1);
-      Shadow_mem.set m (first_seg + count - 1) (State_code.folded 1)
-    end
-    else Shadow_mem.blit_pattern m ~lo:first_seg ~pattern:tmpl ~pat_off ~len:count
+      Shadow_mem.set m (first_seg + count - 1) (State_code.folded od)
+    | None ->
+      Shadow_mem.blit_pattern m ~lo:first_seg ~pattern:tmpl ~pat_off ~len:count
   end
 
 let poison_alloc m (obj : Memobj.t) =

@@ -28,18 +28,31 @@ val poison_good_run_scalar :
   Giantsan_shadow.Shadow_mem.t -> first_seg:int -> count:int -> unit
 (** The reference kernel: one counted store per segment, incremental
     floor-log2. Semantically identical to [poison_good_run] (byte-identical
-    shadow, equal store counts, same [misfold_for_testing] behaviour) —
-    kept as the oracle for the equivalence property tests and the
-    microbenchmark comparison. *)
+    shadow, equal store counts, same fault-plan behaviour) — kept as the
+    oracle for the equivalence property tests and the microbenchmark
+    comparison. *)
 
-val misfold_for_testing : bool ref
-(** Debug switch (default [false]): when set, [poison_good_run] deliberately
-    overstates the folding degree of the final segment of every good run —
-    it claims the segment after the object's last full segment is also
-    addressable. This plants a detection gap of up to 8 bytes past the
-    object end without introducing false positives. Exists solely so the
-    differential fuzzer's own tests can prove they would catch a real
-    folding bug; nothing outside those tests may set it. *)
+type fault =
+  | Overstate_last of int
+      (** the final segment of every good run claims this folding degree
+          instead of 0, vouching for up to [8 * (2^d - 1)] bytes past the
+          object's end — a silent detection-window shrink, never a false
+          positive. [Overstate_last 1] reproduces the historical
+          [misfold_for_testing] switch. *)
+
+val set_fault : fault option -> unit
+(** Arm (or with [None] disarm) the poison-kernel fault plan for the
+    {e calling domain}. Domain-local on purpose: parallel chaos cells each
+    arm their own fault without racing, and a worker's fault never leaks to
+    its siblings. Exists solely so the differential fuzzer's self-tests and
+    the chaos engine can prove a real folding bug would be caught; nothing
+    else may arm it. *)
+
+val current_fault : unit -> fault option
+
+val with_fault : fault option -> (unit -> 'a) -> 'a
+(** [with_fault f body] arms [f], runs [body], and restores the previous
+    plan even on exceptions. *)
 
 val poison_alloc :
   Giantsan_shadow.Shadow_mem.t -> Giantsan_memsim.Memobj.t -> unit

@@ -9,6 +9,7 @@ module Histogram = Giantsan_telemetry.Histogram
 let create_exposed_variant ~name ~use_cache ~check_underflow config =
   let heap = Memsim.Heap.create config in
   let m = Shadow_mem.of_heap heap ~fill:State_code.unallocated in
+  Memsim.Heap.set_evict_hook heap (Folding.poison_evict m);
   let counters = Counters.create () in
   let hists = Histogram.create_set () in
   (* quarantine-residency bookkeeping (telemetry only): the free sequence

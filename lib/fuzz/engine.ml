@@ -53,10 +53,8 @@ let seed_corpus ~seed =
   @ List.map (fun v -> Difftest.gen_buggy ~seed v) violations
 
 let run config =
-  let saved_misfold = !Folding.misfold_for_testing in
-  Folding.misfold_for_testing := config.inject_misfold;
-  Fun.protect
-    ~finally:(fun () -> Folding.misfold_for_testing := saved_misfold)
+  Folding.with_fault
+    (if config.inject_misfold then Some (Folding.Overstate_last 1) else None)
     (fun () ->
       let rng = Rng.create config.seed in
       let coverage = Coverage.create () in

@@ -13,8 +13,8 @@ type config = {
   seed : int;
   minimize : bool;  (** shrink findings to minimal reproducers *)
   inject_misfold : bool;
-      (** plant {!Giantsan_core.Folding.misfold_for_testing} for the run —
-          the fuzzer-finds-a-real-bug self-test *)
+      (** arm {!Giantsan_core.Folding.set_fault} with [Overstate_last 1]
+          for the run — the fuzzer-finds-a-real-bug self-test *)
 }
 
 val default_config : config

@@ -17,6 +17,12 @@ type t = {
   mutable brk : int;
   mutable next_id : int;
   mutable live_bytes : int;
+  mutable pressure_flushes : int;
+  mutable evict_hook : Memobj.t -> unit;
+  (* Chaos hook: when >= 0, counts down one per successful malloc and the
+     malloc after it hits zero raises [Out_of_memory]. -1 = disabled (the
+     only cost on the hot path is one integer compare — no event counts). *)
+  mutable oom_countdown : int;
 }
 
 let create config =
@@ -33,6 +39,9 @@ let create config =
     brk = 64;
     next_id = 0;
     live_bytes = 0;
+    pressure_flushes = 0;
+    evict_hook = ignore;
+    oom_countdown = -1;
   }
 
 let arena t = t.arena
@@ -99,8 +108,40 @@ let recycle t (obj : Memobj.t) =
   Oracle.set_owner t.oracle ~lo:obj.block_base ~hi:(Memobj.block_end obj) None;
   put_cached t obj.block_len obj.block_base
 
+let pressure_flushes t = t.pressure_flushes
+let quarantine_bypasses t = Quarantine.bypasses t.quarantine
+let set_evict_hook t f = t.evict_hook <- f
+let chaos_oom_after t n = t.oom_countdown <- n
+
+(* Last resort before [Out_of_memory]: flush the quarantine, recycle every
+   block it held (notifying the runtime via the evict hook so shadow state
+   follows), and retry the free-cache paths. Trades the temporal-error
+   detection window for forward progress — graceful degradation under
+   allocator pressure, surfaced through [pressure_flushes]. *)
+let pressure_alloc t block_len =
+  let held = Quarantine.flush t.quarantine in
+  if held = [] then raise Out_of_memory;
+  List.iter
+    (fun obj ->
+      recycle t obj;
+      t.evict_hook obj)
+    held;
+  t.pressure_flushes <- t.pressure_flushes + 1;
+  match take_cached t block_len with
+  | Some base -> (base, block_len)
+  | None -> (
+    match take_fit t block_len with
+    | Some (base, len) -> (base, len)
+    | None -> raise Out_of_memory)
+
 let malloc t ?(kind = Memobj.Heap) size =
   if size < 0 then invalid_arg "Heap.malloc: negative size";
+  if t.oom_countdown >= 0 then
+    if t.oom_countdown = 0 then begin
+      t.oom_countdown <- -1;
+      raise Out_of_memory
+    end
+    else t.oom_countdown <- t.oom_countdown - 1;
   let left, block_len = layout t.config size in
   let block_base, block_len =
     match take_cached t block_len with
@@ -115,7 +156,7 @@ let malloc t ?(kind = Memobj.Heap) size =
         (* bump space gone: first-fit over recycled blocks *)
         match take_fit t block_len with
         | Some (base, len) -> (base, len)
-        | None -> raise Out_of_memory)
+        | None -> pressure_alloc t block_len)
   in
   let base = block_base + left in
   let obj =

@@ -41,7 +41,11 @@ val config : t -> config
 val malloc : t -> ?kind:Memobj.kind -> int -> Memobj.t
 (** Allocate [size] bytes ([size >= 0]). The object's [base] is 8-aligned
     and its addressable range is exactly [size] bytes; everything else in
-    the block is redzone. Raises [Out_of_memory] when the arena is full. *)
+    the block is redzone. When the bump region and the free cache are both
+    exhausted the allocator degrades gracefully: it flushes the quarantine
+    (notifying {!set_evict_hook}), recycles the flushed blocks, and retries
+    — trading the temporal-detection window for forward progress (counted by
+    {!pressure_flushes}). Raises [Out_of_memory] only when even that fails. *)
 
 val free : t -> int -> (free_outcome, free_error) result
 (** Free by pointer. On success the object's bytes become [Freed] and the
@@ -56,3 +60,23 @@ val live_bytes : t -> int
 
 val segment_count : t -> int
 (** Number of 8-byte segments in the arena (= shadow size). *)
+
+val pressure_flushes : t -> int
+(** How many times [malloc] had to flush the quarantine to satisfy an
+    allocation (each flush empties the whole queue). Zero on a healthy run. *)
+
+val quarantine_bypasses : t -> int
+(** {!Quarantine.bypasses} of the heap's quarantine: pushes where a single
+    freed block exceeded the whole budget and was retained anyway. *)
+
+val set_evict_hook : t -> (Memobj.t -> unit) -> unit
+(** Called for every block recycled by a pressure flush, after its oracle
+    state is reset, so the wrapping sanitizer can unpoison its shadow (the
+    same duty as [free_outcome.evicted] on the normal path). Default:
+    [ignore]. *)
+
+val chaos_oom_after : t -> int -> unit
+(** Fault-injection hook: arm a countdown so the [n]-th subsequent [malloc]
+    (0-based) raises [Out_of_memory] regardless of arena state, then
+    disarms. Pass [-1] to disarm. Costs one integer compare per [malloc]
+    when disarmed. *)

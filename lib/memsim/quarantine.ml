@@ -1,18 +1,30 @@
-type t = { budget : int; queue : Memobj.t Queue.t; mutable held : int }
+type t = {
+  budget : int;
+  queue : Memobj.t Queue.t;
+  mutable held : int;
+  mutable bypasses : int;
+}
 
 let create ~budget =
   assert (budget >= 0);
-  { budget; queue = Queue.create (); held = 0 }
+  { budget; queue = Queue.create (); held = 0; bypasses = 0 }
 
+(* The newest entry is never evicted by its own push: a block bigger than
+   the whole budget used to be bounced straight back out, which silently
+   collapsed the use-after-free detection window to zero for large blocks.
+   Older entries are evicted to make room; if the newcomer alone still
+   exceeds the budget it stays anyway and the overrun is counted as a
+   bypass, so callers can see how often the budget was overridden. *)
 let push t obj =
   Queue.push obj t.queue;
   t.held <- t.held + obj.Memobj.block_len;
   let evicted = ref [] in
-  while t.held > t.budget && not (Queue.is_empty t.queue) do
+  while t.held > t.budget && Queue.length t.queue > 1 do
     let old = Queue.pop t.queue in
     t.held <- t.held - old.Memobj.block_len;
     evicted := old :: !evicted
   done;
+  if t.held > t.budget then t.bypasses <- t.bypasses + 1;
   List.rev !evicted
 
 let flush t =
@@ -23,3 +35,4 @@ let flush t =
 
 let bytes_held t = t.held
 let length t = Queue.length t.queue
+let bypasses t = t.bypasses

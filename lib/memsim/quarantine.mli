@@ -8,15 +8,27 @@
 type t
 
 val create : budget:int -> t
-(** [budget] is the maximum number of bytes held in quarantine. A budget of
-    [0] disables quarantine (every push evicts immediately). *)
+(** [budget] is the maximum number of bytes held in quarantine. The newest
+    entry is always retained regardless of the budget (see {!push}); a
+    budget of [0] therefore behaves as a one-deep quarantine — each push
+    evicts the previous entry, never the new one. *)
 
 val push : t -> Memobj.t -> Memobj.t list
-(** Enqueue a freed object's block; returns the objects evicted to stay
-    within budget (possibly including the one just pushed). *)
+(** Enqueue a freed object's block; returns the {e older} objects evicted
+    to stay within budget. The just-pushed block is never part of the
+    eviction list: a block bigger than the whole budget stays quarantined
+    anyway (counted by {!bypasses}), so the use-after-free detection window
+    never silently collapses to zero for large blocks. *)
 
 val flush : t -> Memobj.t list
-(** Evict everything (used at teardown). *)
+(** Evict everything (teardown, or allocator pressure — see
+    [Heap.pressure_flushes]). *)
 
 val bytes_held : t -> int
 val length : t -> int
+
+val bypasses : t -> int
+(** Number of pushes that left the quarantine over budget even after
+    evicting every older entry — i.e. how often a single block exceeded the
+    whole budget and the budget was overridden to preserve the detection
+    window. *)

@@ -6,28 +6,43 @@ let run ~jobs tasks =
   else begin
     let jobs = max 1 (min jobs n) in
     if jobs = 1 then
-      (* inline serial reference: same claiming order, no domains *)
+      (* inline serial reference: same claiming order, no domains; an
+         exception propagates immediately, so later tasks never start —
+         the behaviour the poison flag mirrors in the parallel path *)
       Array.map (fun task -> task ()) tasks
     else begin
       let next = Atomic.make 0 in
+      (* set on the first failure: workers stop claiming new tasks, but any
+         task already claimed runs to completion (a claimed slot is always
+         written) *)
+      let poisoned = Atomic.make false in
       (* one slot per task, written exactly once by the claiming worker;
          Domain.join publishes the writes back to the caller *)
       let slots = Array.make n None in
       let worker () =
         let rec loop () =
-          let i = Atomic.fetch_and_add next 1 in
-          if i < n then begin
-            slots.(i) <-
-              Some (match tasks.(i) () with
-                   | r -> Ok r
-                   | exception e -> Error e);
-            loop ()
+          if not (Atomic.get poisoned) then begin
+            let i = Atomic.fetch_and_add next 1 in
+            if i < n then begin
+              (match tasks.(i) () with
+              | r -> slots.(i) <- Some (Ok r)
+              | exception e ->
+                slots.(i) <- Some (Error e);
+                Atomic.set poisoned true);
+              loop ()
+            end
           end
         in
         loop ()
       in
       let domains = Array.init jobs (fun _ -> Domain.spawn worker) in
       Array.iter Domain.join domains;
+      (* Claims are monotone, so unclaimed (None) slots form a suffix and
+         exist only once poison is set — i.e. only after some claimed slot
+         holds an Error at a strictly lower index. The lowest-indexed
+         failing task is always claimed (everything below a claimed index
+         is claimed first), so scanning in order re-raises its exception
+         deterministically, for any schedule and any [jobs]. *)
       Array.map
         (function
           | Some (Ok r) -> r

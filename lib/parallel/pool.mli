@@ -23,10 +23,12 @@ val run : jobs:int -> (unit -> 'a) array -> 'a array
 
     [jobs] is clamped to [1 .. Array.length tasks]; with [jobs = 1] the
     tasks run inline on the calling domain (no spawn), which is the serial
-    reference the determinism tests compare against. If tasks raise, the
-    remaining tasks still run to completion and the exception of the
-    {e lowest-indexed} failing task is re-raised — again independent of
-    scheduling. *)
+    reference the determinism tests compare against. If a task raises, the
+    pool is poisoned: tasks already claimed run to completion, but no new
+    tasks are claimed, and the exception of the {e lowest-indexed} failing
+    task is re-raised — the raised exception is independent of scheduling
+    (the lowest failing index is always claimed before any later failure
+    can poison the pool). *)
 
 val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~jobs f xs] is [run] over [fun () -> f x], preserving list order. *)

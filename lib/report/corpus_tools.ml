@@ -109,6 +109,57 @@ let fuzz ?(jobs = 1) ~seed ~count () =
     List.iter (fun a -> Buffer.add_string buf ("  " ^ a ^ "\n")) l);
   Buffer.contents buf
 
+(* Deterministic corpus-file corruption for the chaos engine's input-fault
+   plane. The mutation kinds mirror what actually goes wrong with files on
+   disk: truncation (partial write), garbled bytes (bit rot), a duplicated
+   line (botched merge), and a deleted line (hand edit). Corpus parsing
+   revalidates the buggy label against recomputed ground truth, so every
+   corruption must end in either a parse rejection or a scenario that is
+   still label-consistent — silent acceptance of a wrong verdict is
+   structurally impossible, and the chaos engine asserts exactly that. *)
+let corrupt_text ~seed text =
+  let rng = Giantsan_util.Rng.create seed in
+  let n = String.length text in
+  match Giantsan_util.Rng.int rng 4 with
+  | 0 ->
+    (* truncate mid-file *)
+    let keep = if n <= 1 then 0 else Giantsan_util.Rng.int rng n in
+    ("truncated", String.sub text 0 keep)
+  | 1 ->
+    (* garble a handful of bytes *)
+    let b = Bytes.of_string text in
+    let flips = 1 + Giantsan_util.Rng.int rng 8 in
+    for _ = 1 to flips do
+      if n > 0 then begin
+        let p = Giantsan_util.Rng.int rng n in
+        Bytes.set b p (Char.chr (Giantsan_util.Rng.int rng 256))
+      end
+    done;
+    ("garbled", Bytes.to_string b)
+  | 2 ->
+    (* duplicate one line *)
+    let lines = String.split_on_char '\n' text in
+    let k = List.length lines in
+    if k = 0 then ("dup-line", text)
+    else begin
+      let at = Giantsan_util.Rng.int rng k in
+      let out =
+        List.concat
+          (List.mapi (fun i l -> if i = at then [ l; l ] else [ l ]) lines)
+      in
+      ("dup-line", String.concat "\n" out)
+    end
+  | _ ->
+    (* drop one line *)
+    let lines = String.split_on_char '\n' text in
+    let k = List.length lines in
+    if k <= 1 then ("drop-line", "")
+    else begin
+      let at = Giantsan_util.Rng.int rng k in
+      let out = List.filteri (fun i _ -> i <> at) lines in
+      ("drop-line", String.concat "\n" out)
+    end
+
 let validate () =
   let buf = Buffer.create 1024 in
   let check label scenarios =

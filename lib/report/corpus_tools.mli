@@ -12,3 +12,13 @@ val fuzz : ?jobs:int -> seed:int -> count:int -> unit -> string
 val validate : unit -> string
 (** Re-validate the ground-truth labels of every generated corpus (Juliet,
     Magma, CVEs, fuzzer smoke samples) and report. *)
+
+val corrupt_text : seed:int -> string -> string * string
+(** Deterministically corrupt a corpus/NDJSON text for the chaos engine's
+    input-fault plane: returns [(mutation_name, corrupted_text)] where the
+    mutation is one of truncation, byte garbling, a duplicated line, or a
+    deleted line, chosen and parameterised by [seed]. Feeding the result to
+    [Corpus.of_string] must end in either a parse rejection or a scenario
+    whose recomputed ground truth still matches its label — the parser's
+    label revalidation makes silently accepting a wrong verdict
+    structurally impossible. *)

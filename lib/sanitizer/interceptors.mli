@@ -15,8 +15,12 @@
 
 val strlen : Sanitizer.t -> addr:int -> int * Report.t list
 (** Length of the NUL-terminated string at [addr]; the string bytes
-    including the terminator are then validated as one region. A string
-    that runs past the arena's end is reported and its length clamped. *)
+    including the terminator are then validated as one region through the
+    tool's own [check_region]. A string that runs past the arena's end has
+    its length clamped and the walked bytes validated the same way — the
+    interceptor never fabricates a report of its own, so each tool is only
+    credited with what its shadow actually detects (Native detects
+    nothing). *)
 
 val strcpy : Sanitizer.t -> dst:int -> src:int -> Report.t list
 (** Validate [src] (strlen + NUL) and [dst] regions, then copy. *)

@@ -28,6 +28,14 @@ let set t p v =
   t.stores <- t.stores + 1;
   if p >= 0 && p < Bytes.length t.bytes then Bytes.set t.bytes p (Char.chr v)
 
+(* Uncounted store: the chaos engine's corruption primitive. Bypassing the
+   stores counter is the point — an injected fault must not perturb the
+   event-count-derived cost model, or the determinism and bench gates would
+   see phantom work. *)
+let poke t p v =
+  assert (v >= 0 && v < 256);
+  if p >= 0 && p < Bytes.length t.bytes then Bytes.set t.bytes p (Char.chr v)
+
 (* The batched kernels below clamp once, count the clamped length once, and
    then run an unchecked fill/blit: the bounds checks are hoisted out of the
    per-byte loop, which is what makes poisoning O(memset) rather than

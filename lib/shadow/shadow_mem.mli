@@ -28,6 +28,13 @@ val peek : t -> int -> int
 val set : t -> int -> int -> unit
 (** [set m p v] writes segment state (0..255), counting one metadata store. *)
 
+val poke : t -> int -> int -> unit
+(** Like [set] but uncounted: the chaos engine's corruption primitive.
+    An injected fault must not perturb the event-count-derived cost model
+    (phantom stores would break the determinism and bench gates), so it
+    bypasses the counter on purpose. Out-of-range [p] is ignored. Nothing
+    outside fault injection may use this. *)
+
 val fill_range : t -> lo:int -> hi:int -> int -> unit
 (** Set segments [lo, hi) to a value. The range is clamped to the arena
     first and only the clamped length is counted as stores — writes into

@@ -7,6 +7,7 @@ module Magma = Giantsan_bugs.Magma
 module Harness = Giantsan_bugs.Harness
 module Memobj = Giantsan_memsim.Memobj
 module San = Giantsan_sanitizer.Sanitizer
+module Report = Giantsan_sanitizer.Report
 
 let take n l = List.filteri (fun i _ -> i < n) l
 
@@ -167,13 +168,17 @@ let test_magma_totals_match_paper () =
 let test_quarantine_bypass_window () =
   (* once a freed block leaves quarantine and is re-allocated, a stale
      pointer dereference is indistinguishable from a valid access — the
-     common location-based blind spot the paper acknowledges *)
+     common location-based blind spot the paper acknowledges. The newest
+     entry is never self-evicted (budget 0 = one-deep quarantine), so a
+     second free is what pushes the victim out. *)
   let san = Harness.make_sanitizer ~quarantine:0 Harness.Giantsan in
   let a = san.San.malloc 64 in
   let pa = a.Memobj.base in
-  ignore (san.San.free pa);
   let b = san.San.malloc 64 in
-  Alcotest.(check int) "block was recycled" pa b.Memobj.base;
+  ignore (san.San.free pa);
+  ignore (san.San.free b.Memobj.base);
+  let c = san.San.malloc 64 in
+  Alcotest.(check int) "block was recycled" pa c.Memobj.base;
   Alcotest.(check bool) "stale pointer access is missed" true
     (san.San.access ~base:pa ~addr:(pa + 8) ~width:8 = None);
   (* with a real quarantine budget the same flow is caught *)
@@ -184,6 +189,24 @@ let test_quarantine_bypass_window () =
   let _b2 = san2.San.malloc 64 in
   Alcotest.(check bool) "caught while quarantined" true
     (san2.San.access ~base:pa2 ~addr:(pa2 + 8) ~width:8 <> None)
+
+let test_quarantine_uaf_large_block () =
+  (* regression: a block bigger than the whole quarantine budget used to be
+     bounced straight back out on free, so an immediate use-after-free was
+     missed; the retained-newest rule keeps the detection window open *)
+  let san = Harness.make_sanitizer ~quarantine:16 Harness.Giantsan in
+  let a = san.San.malloc 64 in
+  let pa = a.Memobj.base in
+  ignore (san.San.free pa);
+  (* a fresh same-size malloc must not reuse the quarantined block *)
+  let b = san.San.malloc 64 in
+  Alcotest.(check bool) "quarantined block not reused" true
+    (b.Memobj.base <> pa);
+  match san.San.access ~base:pa ~addr:(pa + 8) ~width:8 with
+  | Some r ->
+    Alcotest.(check string) "classified as UAF" "heap-use-after-free"
+      (Report.kind_name r.Report.kind)
+  | None -> Alcotest.fail "use-after-free missed despite budget < block_len"
 
 let test_sub_object_insensitivity () =
   (* struct { char name[8]; int id; }: overflowing [name] into [id] stays
@@ -275,6 +298,8 @@ let suite =
       Helpers.qt "Magma: totals match Table 5" `Quick test_magma_totals_match_paper;
       Helpers.qt "limitation: quarantine bypass" `Quick
         test_quarantine_bypass_window;
+      Helpers.qt "quarantine: UAF caught at budget < block" `Quick
+        test_quarantine_uaf_large_block;
       Helpers.qt "limitation: sub-object overflows" `Quick
         test_sub_object_insensitivity;
       Helpers.qt "softbound: precise but fragile (§2.1)" `Quick

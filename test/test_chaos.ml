@@ -1,0 +1,137 @@
+(* The chaos subsystem: the shadow-vs-oracle self-check, the fault matrix
+   and the engine's two load-bearing contracts — corruption is always
+   flagged, and the rendered report is byte-identical for a fixed seed
+   across runs and across jobs. *)
+
+module Memsim = Giantsan_memsim
+module Heap = Memsim.Heap
+module Memobj = Memsim.Memobj
+module Shadow_mem = Giantsan_shadow.Shadow_mem
+module Gs_runtime = Giantsan_core.Gs_runtime
+module San = Giantsan_sanitizer.Sanitizer
+module Scenario = Giantsan_bugs.Scenario
+module Difftest = Giantsan_bugs.Difftest
+module Fault = Giantsan_chaos.Fault
+module Selfcheck = Giantsan_chaos.Selfcheck
+module Engine = Giantsan_chaos.Engine
+module Rng = Giantsan_util.Rng
+
+(* ------------------------------------------------------------------ *)
+(* Selfcheck                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* A correct runtime's shadow is a pure function of the heap's ground
+   truth, so the audit must stay empty after any legal op sequence. The
+   clean-scenario generator covers the whole op surface (alloc sizes 0..,
+   frees, loops, regions). *)
+let test_selfcheck_clean_on_pristine =
+  Helpers.q "selfcheck: clean after any legal op sequence" QCheck.small_int
+    (fun seed ->
+      let sc = Difftest.gen_clean ~seed in
+      let san, shadow = Gs_runtime.create_exposed Helpers.small_config in
+      ignore (Scenario.run_reports san sc);
+      Selfcheck.run ~heap:san.San.heap ~shadow = [])
+
+let test_corruption_always_flagged =
+  Helpers.q "selfcheck: any shadow byte change is flagged" QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create seed in
+      let san, shadow = Gs_runtime.create_exposed Helpers.small_config in
+      (* populate: a few live objects, some freed *)
+      for _ = 1 to Rng.int_in rng 2 8 do
+        let obj = san.San.malloc (Rng.int_in rng 0 200) in
+        if Rng.bool rng then ignore (san.San.free obj.Memobj.base)
+      done;
+      assert (Selfcheck.run ~heap:san.San.heap ~shadow = []);
+      let seg = Rng.int rng (Shadow_mem.segments shadow) in
+      let mask = 1 + Rng.int rng 255 in
+      Shadow_mem.poke shadow seg (Shadow_mem.peek shadow seg lxor mask);
+      match Selfcheck.run ~heap:san.San.heap ~shadow with
+      | [] -> false
+      | ms -> List.exists (fun m -> m.Selfcheck.seg = seg) ms)
+
+let test_selfcheck_classification () =
+  let san, shadow = Gs_runtime.create_exposed Helpers.small_config in
+  let obj = san.San.malloc 64 in
+  let base_seg = obj.Memobj.base / 8 in
+  (* live payload marked freed: shadow claims fewer bytes than truth *)
+  Shadow_mem.poke shadow base_seg Giantsan_core.State_code.freed;
+  (match Selfcheck.run ~heap:san.San.heap ~shadow with
+  | [ m ] ->
+    Alcotest.(check bool) "stale free is an underclaim" true
+      (m.Selfcheck.cls = Selfcheck.Underclaim)
+  | ms ->
+    Alcotest.failf "expected exactly one mismatch, got %d" (List.length ms));
+  (* restore, then overclaim a redzone segment: the dangerous direction *)
+  Shadow_mem.poke shadow base_seg (Selfcheck.expected_code san.San.heap base_seg);
+  Shadow_mem.poke shadow (base_seg - 1) Giantsan_core.State_code.good;
+  match Selfcheck.run ~heap:san.San.heap ~shadow with
+  | [ m ] ->
+    Alcotest.(check bool) "good-over-redzone is an overclaim" true
+      (m.Selfcheck.cls = Selfcheck.Overclaim)
+  | ms -> Alcotest.failf "expected exactly one mismatch, got %d" (List.length ms)
+
+(* ------------------------------------------------------------------ *)
+(* Fault matrix                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_matrix_deterministic_and_complete () =
+  let a = Fault.matrix ~seed:123 and b = Fault.matrix ~seed:123 in
+  Alcotest.(check bool) "same seed, same schedule" true (a = b);
+  Alcotest.(check bool) "different seed, different schedule" true
+    (a <> Fault.matrix ~seed:124);
+  let planes_of cells =
+    List.sort_uniq compare (List.map (fun c -> c.Fault.plane) cells)
+  in
+  Alcotest.(check int) "all four planes represented" 4
+    (List.length (planes_of a));
+  let ids = List.map (fun c -> c.Fault.cell_id) a in
+  Alcotest.(check int) "cell ids unique" (List.length ids)
+    (List.length (List.sort_uniq compare ids))
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The subsystem's headline property: for a fixed seed the rendered
+   report is byte-identical across runs and across jobs, and no fault is
+   ever silently absorbed. *)
+let test_engine_deterministic_across_jobs () =
+  List.iter
+    (fun seed ->
+      let serial, held1 = Engine.run ~seed ~jobs:1 () in
+      let parallel, held2 = Engine.run ~seed ~jobs:2 () in
+      Alcotest.(check string)
+        (Printf.sprintf "byte-identical serial vs jobs=2 (seed %d)" seed)
+        serial parallel;
+      Alcotest.(check bool)
+        (Printf.sprintf "contract held (seed %d)" seed)
+        true (held1 && held2))
+    [ 5; 42 ]
+
+let test_engine_counters () =
+  let rows = Engine.run_round ~seed:42 ~jobs:1 in
+  let stats = Engine.fresh_stats () in
+  Engine.tally stats rows;
+  Alcotest.(check int) "every cell injects one fault"
+    (List.length rows) stats.Engine.faults_injected;
+  Alcotest.(check int) "no silent corruption" 0 stats.Engine.silent_corruptions;
+  Alcotest.(check bool) "some faults detected" true
+    (stats.Engine.faults_detected > 0);
+  Alcotest.(check bool) "some runs degraded" true
+    (stats.Engine.runs_degraded > 0)
+
+let suite =
+  ( "chaos",
+    [
+      test_selfcheck_clean_on_pristine;
+      test_corruption_always_flagged;
+      Helpers.qt "selfcheck classifies under/overclaim" `Quick
+        test_selfcheck_classification;
+      Helpers.qt "fault matrix is seeded and complete" `Quick
+        test_matrix_deterministic_and_complete;
+      Helpers.qt "engine output identical across jobs" `Quick
+        test_engine_deterministic_across_jobs;
+      Helpers.qt "engine counters account for every cell" `Quick
+        test_engine_counters;
+    ] )

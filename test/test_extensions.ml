@@ -233,6 +233,34 @@ let test_unterminated_string () =
   let _, reps = Interceptors.strlen san ~addr:b in
   Alcotest.(check bool) "runaway string reported" true (reps <> [])
 
+let test_strlen_attribution () =
+  (* regression: strlen used to fabricate a Wild_access report credited to
+     whatever tool ran it, so Native "detected" runaway strings it cannot
+     see. The scan now goes through each tool's own check_region: GiantSan
+     flags the redzone/unallocated bytes it walked, Native stays blind. *)
+  let config =
+    { Giantsan_memsim.Heap.arena_size = 4096; redzone = 16; quarantine_budget = 0 }
+  in
+  let mk san =
+    let obj = san.San.malloc 64 in
+    let b = obj.Memsim.Memobj.base in
+    let a = Memsim.Heap.arena san.San.heap in
+    Memsim.Arena.fill a ~addr:b ~len:(4096 - b) 1;
+    let len, reps = Interceptors.strlen san ~addr:b in
+    (san, len, reps)
+  in
+  let _, glen, greps = mk (Helpers.giantsan ~config ()) in
+  Alcotest.(check bool) "giantsan detects via its shadow" true (greps <> []);
+  List.iter
+    (fun (r : Report.t) ->
+      Alcotest.(check string) "credited to GiantSan" "GiantSan"
+        r.Report.detected_by)
+    greps;
+  let _, nlen, nreps = mk (Helpers.native ~config ()) in
+  Alcotest.(check int) "same scan length" glen nlen;
+  Alcotest.(check (list string)) "native detects nothing" []
+    (List.map Report.to_string nreps)
+
 let test_calloc_realloc () =
   let san = Helpers.giantsan ~config:Helpers.small_config () in
   let obj = Interceptors.calloc san ~count:8 ~size:16 in
@@ -306,6 +334,8 @@ let suite =
       Helpers.qt "strcat" `Quick test_strcat;
       Helpers.qt "memmove/memset guardians" `Quick test_memmove_and_memset;
       Helpers.qt "unterminated string reported" `Quick test_unterminated_string;
+      Helpers.qt "strlen credits only real detections" `Quick
+        test_strlen_attribution;
       Helpers.qt "calloc + realloc lifecycle" `Quick test_calloc_realloc;
       Helpers.qt "realloc(NULL) is malloc" `Quick test_realloc_null_is_malloc;
       Helpers.qt "interceptors across tools" `Quick

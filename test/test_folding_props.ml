@@ -141,9 +141,8 @@ let poison_kernels_agree ~misfold (first_pick, counts) =
     let first_seg = 1 + (first_pick mod (segments - 701)) in
     let m1 = Shadow_mem.create ~segments ~fill:SC.unallocated in
     let m2 = Shadow_mem.create ~segments ~fill:SC.unallocated in
-    Folding.misfold_for_testing := misfold;
-    Fun.protect
-      ~finally:(fun () -> Folding.misfold_for_testing := false)
+    Folding.with_fault
+      (if misfold then Some (Folding.Overstate_last 1) else None)
       (fun () ->
         Folding.poison_good_run m1 ~first_seg ~count;
         Folding.poison_good_run_scalar m2 ~first_seg ~count);

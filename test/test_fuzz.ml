@@ -153,7 +153,8 @@ let test_misfold_found_and_shrunk () =
     Engine.run
       { Engine.runs = 800; seed = 42; minimize = true; inject_misfold = true }
   in
-  Alcotest.(check bool) "flag restored" false !Folding.misfold_for_testing;
+  Alcotest.(check bool) "fault plan restored" true
+    (Folding.current_fault () = None);
   Alcotest.(check bool) "the planted bug is found" true
     (s.Engine.s_divergent_runs > 0);
   Alcotest.(check bool) "at least one finding recorded" true
@@ -186,11 +187,7 @@ let test_misfold_regressions_guard_the_bug () =
       (Engine.replay ~dir:regressions_dir)
   in
   Alcotest.(check int) "two misfold guards present" 2 (List.length guards);
-  let saved = !Folding.misfold_for_testing in
-  Fun.protect
-    ~finally:(fun () -> Folding.misfold_for_testing := saved)
-    (fun () ->
-      Folding.misfold_for_testing := true;
+  Folding.with_fault (Some (Folding.Overstate_last 1)) (fun () ->
       List.iter
         (fun (name, _) ->
           match Corpus.load_file (Filename.concat regressions_dir name) with

@@ -119,18 +119,84 @@ let test_quarantine_fifo () =
   Alcotest.(check int) "held" 80 (Quarantine.bytes_held q)
 
 let test_quarantine_recycling () =
-  (* a tiny quarantine forces immediate recycling, reopening the block for
-     reuse: the paper's quarantine-bypass window *)
+  (* budget 0 behaves as a one-deep quarantine: a free never evicts its own
+     block (that would collapse the use-after-free window to zero); the
+     next free pushes it out, and only then is the block reusable *)
   let config = { Helpers.small_config with Giantsan_memsim.Heap.quarantine_budget = 0 } in
   let h = Heap.create config in
   let a = Heap.malloc h 64 in
+  let b = Heap.malloc h 64 in
   (match Heap.free h a.Memobj.base with
   | Ok { evicted; _ } ->
-    Alcotest.(check int) "evicted immediately" 1 (List.length evicted)
+    Alcotest.(check int) "newest retained" 0 (List.length evicted)
+  | Error _ -> Alcotest.fail "free failed");
+  Alcotest.(check bool) "status quarantined" true
+    (a.Memobj.status = Memobj.Quarantined);
+  (match Heap.free h b.Memobj.base with
+  | Ok { evicted; _ } ->
+    Alcotest.(check (list int)) "previous block evicted" [ a.Memobj.id ]
+      (List.map (fun (o : Memobj.t) -> o.Memobj.id) evicted)
   | Error _ -> Alcotest.fail "free failed");
   Alcotest.(check bool) "status recycled" true (a.Memobj.status = Memobj.Recycled);
-  let b = Heap.malloc h 64 in
-  Alcotest.(check int) "block reused" a.Memobj.base b.Memobj.base
+  let c = Heap.malloc h 64 in
+  Alcotest.(check int) "block reused" a.Memobj.base c.Memobj.base
+
+let test_quarantine_bypass_counter () =
+  (* a block bigger than the whole budget stays quarantined and is counted
+     as a bypass each time the overrun persists after a push *)
+  let q = Quarantine.create ~budget:50 in
+  let mk id len =
+    {
+      Memobj.id;
+      kind = Memobj.Heap;
+      base = 0;
+      size = len;
+      block_base = 0;
+      block_len = len;
+      status = Memobj.Quarantined;
+    }
+  in
+  Alcotest.(check (list int)) "oversized block retained" []
+    (List.map (fun (o : Memobj.t) -> o.id) (Quarantine.push q (mk 1 120)));
+  Alcotest.(check int) "bypass counted" 1 (Quarantine.bypasses q);
+  Alcotest.(check int) "held over budget" 120 (Quarantine.bytes_held q);
+  (* the next push evicts the oversized block and fits: no new bypass *)
+  Alcotest.(check (list int)) "oversized evicted by successor" [ 1 ]
+    (List.map (fun (o : Memobj.t) -> o.id) (Quarantine.push q (mk 2 40)));
+  Alcotest.(check int) "no further bypass" 1 (Quarantine.bypasses q)
+
+let test_pressure_flush () =
+  (* when bump space and free cache are both empty, malloc flushes the
+     quarantine instead of dying: graceful degradation under pressure *)
+  let config =
+    { Giantsan_memsim.Heap.arena_size = 4096; redzone = 16;
+      quarantine_budget = 1 lsl 20 }
+  in
+  let h = Heap.create config in
+  let evicted_ids = ref [] in
+  Heap.set_evict_hook h (fun o -> evicted_ids := o.Memobj.id :: !evicted_ids);
+  let big = Heap.malloc h 3800 in
+  ignore (Heap.free h big.Memobj.base);
+  Alcotest.(check bool) "still quarantined" true
+    (big.Memobj.status = Memobj.Quarantined);
+  let a = Heap.malloc h 400 in
+  Alcotest.(check int) "one pressure flush" 1 (Heap.pressure_flushes h);
+  Alcotest.(check (list int)) "evict hook saw the block" [ big.Memobj.id ]
+    !evicted_ids;
+  Alcotest.(check bool) "carved from the flushed block" true
+    (a.Memobj.block_base >= big.Memobj.block_base
+    && Memobj.block_end a <= Memobj.block_end big);
+  Alcotest.(check bool) "recycled" true (big.Memobj.status = Memobj.Recycled)
+
+let test_chaos_oom_countdown () =
+  let h = Heap.create Helpers.small_config in
+  Heap.chaos_oom_after h 2;
+  ignore (Heap.malloc h 8);
+  ignore (Heap.malloc h 8);
+  Alcotest.check_raises "armed malloc raises" Out_of_memory (fun () ->
+      ignore (Heap.malloc h 8));
+  (* the countdown disarms itself after firing *)
+  ignore (Heap.malloc h 8)
 
 let test_stack_objects_recycle_immediately () =
   let h = Heap.create Helpers.small_config in
@@ -228,8 +294,13 @@ let suite =
       Helpers.qt "heap: free error taxonomy" `Quick test_free_and_errors;
       Helpers.qt "heap: freed bytes poisoned" `Quick test_freed_state;
       Helpers.qt "quarantine: FIFO with byte budget" `Quick test_quarantine_fifo;
-      Helpers.qt "quarantine: zero budget recycles at once" `Quick
+      Helpers.qt "quarantine: zero budget is one-deep" `Quick
         test_quarantine_recycling;
+      Helpers.qt "quarantine: oversized block bypasses budget" `Quick
+        test_quarantine_bypass_counter;
+      Helpers.qt "heap: pressure flush under exhaustion" `Quick
+        test_pressure_flush;
+      Helpers.qt "heap: chaos OOM countdown" `Quick test_chaos_oom_countdown;
       Helpers.qt "heap: stack frames skip quarantine" `Quick
         test_stack_objects_recycle_immediately;
       Helpers.qt "heap: owner lookup" `Quick test_owner_lookup;

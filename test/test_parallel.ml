@@ -43,20 +43,50 @@ let test_pool_edges () =
 exception Boom of int
 
 let test_pool_exn () =
+  (* mid-array failure: the lowest failing index is re-raised at every jobs
+     value (the lowest failing index is always claimed before any later
+     failure can poison the pool) *)
+  List.iter
+    (fun jobs ->
+      let tasks =
+        Array.init 16 (fun i () -> if i = 11 || i = 3 then raise (Boom i) else i)
+      in
+      match Pool.run ~jobs tasks with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom i ->
+        Alcotest.(check int)
+          (Printf.sprintf "lowest failing index re-raised (jobs=%d)" jobs)
+          3 i)
+    [ 1; 2; 4 ]
+
+let test_pool_poison_stops_claims () =
+  (* task 0 fails instantly; every other task does real spinning work. For
+     all 199 others to run anyway, one worker would have to claim (and so
+     execute) every one of them inside the nanoseconds it takes the task-0
+     claimer to raise and set the poison flag — so observing at least one
+     skipped task is robust evidence that claiming stopped. *)
+  let n = 200 in
   let ran = Atomic.make 0 in
+  let sink = ref 0 in
   let tasks =
-    Array.init 16 (fun i () ->
-        if i = 11 || i = 3 then raise (Boom i)
+    Array.init n (fun i () ->
+        if i = 0 then raise (Boom 0)
         else begin
-          Atomic.incr ran;
-          i
+          for k = 1 to 10_000 do
+            sink := Sys.opaque_identity (!sink + k)
+          done;
+          Atomic.incr ran
         end)
   in
-  (match Pool.run ~jobs:4 tasks with
+  (match Pool.run ~jobs:2 tasks with
   | _ -> Alcotest.fail "expected Boom"
-  | exception Boom i ->
-    Alcotest.(check int) "lowest failing index re-raised" 3 i);
-  Alcotest.(check int) "non-failing tasks all completed" 14 (Atomic.get ran)
+  | exception Boom 0 -> ()
+  | exception e -> raise e);
+  Alcotest.(check bool)
+    (Printf.sprintf "claiming stopped after poison (%d of %d ran)"
+       (Atomic.get ran) (n - 1))
+    true
+    (Atomic.get ran < n - 1)
 
 (* ------------------------------------------------------------------ *)
 (* Shard trace isolation                                               *)
@@ -225,6 +255,8 @@ let suite =
       Alcotest.test_case "pool: results in task order" `Quick test_pool_order;
       Alcotest.test_case "pool: edge cases" `Quick test_pool_edges;
       Alcotest.test_case "pool: deterministic exception" `Quick test_pool_exn;
+      Alcotest.test_case "pool: poison stops claiming" `Quick
+        test_pool_poison_stops_claims;
       Alcotest.test_case "shard: private traces" `Quick test_shard_isolation;
       Alcotest.test_case "merge: resequence" `Quick test_merge_resequence;
       QCheck_alcotest.to_alcotest prop_sweep_deterministic;
