@@ -105,6 +105,24 @@ if ! cmp -s "$tmpdir/chaos1.txt" "$tmpdir/chaos2.txt"; then
 fi
 echo "byte-identical chaos matrix across jobs=1 and jobs=2"
 
+echo "== spec refinement harness (two fixed seeds) =="
+# Lockstep refinement of the real sanitizer against the executable spec
+# heap: every divergence is a bug in one of the worlds. Two seeds, both
+# byte-deterministic; the alternating default/budget0 configs inside each
+# run cover quarantine-eviction and bypass paths.
+dune exec bin/main.exe -- spec --seed 7 --runs 8 --steps 200
+dune exec bin/main.exe -- spec --seed 1234 --runs 8 --steps 200
+
+echo "== spec mutation kills =="
+# Plant each chaos fault family into the real shadow plane and require the
+# harness to notice. A surviving mutant means the audit lost its teeth.
+dune exec bin/main.exe -- spec --seed 7 --runs 2 --steps 40 --mutate all
+
+echo "== spec property suite (pinned qcheck seed) =="
+# The @spec alias re-runs the model/kernel/refinement qcheck properties
+# under a fixed generator seed so CI failures replay locally verbatim.
+QCHECK_SEED=42 dune build --force @spec
+
 echo "== exit-code conventions =="
 # 0 success, 1 findings/contract violation, 2 corrupt input, 3 OOM,
 # 124 CLI misuse. Bad input and exhaustion must end in a diagnostic and a

@@ -546,6 +546,124 @@ let chaos_cmd =
               end))
       $ seed $ jobs_arg $ soak $ oom_demo $ out_file)
 
+let spec_cmd =
+  let doc =
+    "Run the executable-specification refinement harness: the real \
+     GiantSan runtime and the pure model in lockstep over seeded \
+     operation streams, with full-state audits (shadow, arena bytes, \
+     quarantine FIFO, counters) after every step. With $(b,--mutate), \
+     plant seeded shadow-plane faults instead and demand every one is \
+     caught by the audit. Output is byte-identical for a fixed \
+     $(b,--seed). Exits 0 when every run is equivalent (and every mutant \
+     killed), 1 otherwise."
+  in
+  let seed =
+    Arg.(
+      value & opt int 7
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Master seed; per-run seeds derive from it.")
+  in
+  let runs =
+    Arg.(
+      value & opt int 16
+      & info [ "runs" ] ~docv:"N" ~doc:"Number of lockstep runs.")
+  in
+  let steps =
+    Arg.(
+      value & opt int 200
+      & info [ "steps" ] ~docv:"N" ~doc:"Operations per lockstep run.")
+  in
+  let mutate =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "mutate" ] ~docv:"WHICH"
+          ~doc:
+            "Mutation-kill mode: $(b,all) or one of $(b,bit-flip), \
+             $(b,stale-free), $(b,overclaim), $(b,misfold). Each fault is \
+             planted into the real shadow plane only; a surviving mutant \
+             is a harness failure.")
+  in
+  Cmd.v (Cmd.info "spec" ~doc)
+    Term.(
+      const (fun seed runs steps mutate ->
+          guard_oom (fun () ->
+              let module Refine = Giantsan_spec.Refine in
+              let module Heap = Giantsan_memsim.Heap in
+              let rng = Giantsan_util.Rng.create seed in
+              let budget0 =
+                { Refine.default_config with Heap.quarantine_budget = 0 }
+              in
+              let config_of i =
+                if i mod 2 = 0 then ("default", Refine.default_config)
+                else ("budget0", budget0)
+              in
+              match mutate with
+              | None ->
+                Printf.printf "spec: lockstep seed=%d runs=%d steps=%d\n" seed
+                  runs steps;
+                let bad = ref 0 in
+                for i = 0 to runs - 1 do
+                  let run_seed = Giantsan_util.Rng.int rng 1_000_000 in
+                  let cname, config = config_of i in
+                  match Refine.run ~config ~seed:run_seed ~steps () with
+                  | Refine.Equivalent e ->
+                    Printf.printf
+                      "run %02d seed=%06d config=%-7s equivalent (%d \
+                       reports, %d allocs, %d frees)\n"
+                      i run_seed cname e.reports e.allocs e.frees
+                  | Refine.Diverged d ->
+                    incr bad;
+                    Printf.printf "run %02d seed=%06d config=%-7s DIVERGED %s\n"
+                      i run_seed cname
+                      (Refine.divergence_to_string d)
+                done;
+                Printf.printf "spec: %d/%d runs equivalent\n" (runs - !bad) runs;
+                if !bad = 0 then 0 else 1
+              | Some which ->
+                let mutations =
+                  match which with
+                  | "all" -> Refine.all_mutations
+                  | _ -> (
+                    match
+                      List.find_opt
+                        (fun m ->
+                          (* match on the family prefix of the display name *)
+                          let n = Refine.mutation_name m in
+                          String.length n >= String.length which
+                          && String.sub n 0 (String.length which) = which)
+                        Refine.all_mutations
+                    with
+                    | Some m -> [ m ]
+                    | None ->
+                      Printf.eprintf "spec: unknown mutation %S\n" which;
+                      Stdlib.exit 2)
+                in
+                Printf.printf "spec: mutation kills seed=%d runs=%d steps=%d\n"
+                  seed runs steps;
+                let survived = ref 0 and total = ref 0 in
+                for i = 0 to runs - 1 do
+                  let run_seed = Giantsan_util.Rng.int rng 1_000_000 in
+                  let cname, config = config_of i in
+                  List.iter
+                    (fun m ->
+                      incr total;
+                      let killed, detail =
+                        Refine.check_mutation ~config ~seed:run_seed ~steps m
+                      in
+                      if not killed then incr survived;
+                      Printf.printf
+                        "run %02d seed=%06d config=%-7s %-14s %s (%s)\n" i
+                        run_seed cname (Refine.mutation_name m)
+                        (if killed then "killed" else "SURVIVED")
+                        detail)
+                    mutations
+                done;
+                Printf.printf "spec: %d/%d mutants killed\n"
+                  (!total - !survived) !total;
+                if !survived = 0 then 0 else 1))
+      $ seed $ runs $ steps $ mutate)
+
 let validate_cmd =
   let doc = "Re-validate the ground-truth labels of every generated corpus." in
   Cmd.v (Cmd.info "validate" ~doc)
@@ -567,7 +685,7 @@ let () =
   let cmds =
     all_cmd :: extras_cmd :: fuzz_cmd :: fuzz_matrix_cmd :: replay_cmd
     :: trace_cmd :: check_ndjson_cmd :: bench_compare_cmd :: sweep_cmd
-    :: chaos_cmd :: validate_cmd
+    :: chaos_cmd :: spec_cmd :: validate_cmd
     :: List.map
          (fun id -> experiment_cmd id id)
          (Giantsan_report.Experiments.all_ids

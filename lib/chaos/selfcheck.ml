@@ -2,7 +2,6 @@ module Memsim = Giantsan_memsim
 module Memobj = Memsim.Memobj
 module Shadow_mem = Giantsan_shadow.Shadow_mem
 module State_code = Giantsan_core.State_code
-module Folding = Giantsan_core.Folding
 
 type mismatch_class = Overclaim | Underclaim | Drift
 
@@ -20,13 +19,12 @@ type mismatch = {
 
 (* The GiantSan shadow is a pure function of the heap's ground truth: for
    every segment, the owning object's kind, status and geometry determine
-   the one code the poisoning pass must have written (left redzone, folded
-   good run with degree [degree_at (count - j)], trailing partial, right
-   redzone; freed codes over a quarantined object's payload; unallocated
-   where no object owns the segment). Recomputing that function and
-   comparing byte-for-byte is the self-check: any divergence — injected or
-   organic — is a corruption, because no legal operation sequence can
-   produce it. *)
+   the one code the poisoning pass must have written. The per-object code
+   itself lives in the executable specification ([Model.code_in_object]),
+   so this audit and the lockstep refinement harness can never disagree
+   about what "correct" means; this module only supplies the oracle-side
+   ownership lookup. Any divergence — injected or organic — is a
+   corruption, because no legal operation sequence can produce it. *)
 let expected_code heap seg =
   let oracle = Memsim.Heap.oracle heap in
   match Memsim.Oracle.owner oracle (seg * 8) with
@@ -38,22 +36,9 @@ let expected_code heap seg =
          itself be an oracle bug, surfaced as a mismatch *)
       State_code.unallocated
     | (Memobj.Live | Memobj.Quarantined) as st ->
-      let base_seg = obj.Memobj.base / 8 in
-      let full = obj.Memobj.size / 8 in
-      let rem = obj.Memobj.size mod 8 in
-      let rz = State_code.redzone_code obj.Memobj.kind in
-      if seg < base_seg then rz
-      else if seg < base_seg + full then (
-        match st with
-        | Memobj.Live ->
-          State_code.folded
-            (Folding.degree_at ~good_segments:(base_seg + full - seg))
-        | _ -> State_code.freed)
-      else if seg = base_seg + full && rem > 0 then (
-        match st with
-        | Memobj.Live -> State_code.partial rem
-        | _ -> State_code.freed)
-      else rz)
+      Giantsan_spec.Model.code_in_object
+        ~live:(st = Memobj.Live)
+        ~kind:obj.Memobj.kind ~base:obj.Memobj.base ~size:obj.Memobj.size seg)
 
 let classify ~expected ~actual =
   let ea = State_code.addressable_in_segment expected

@@ -110,6 +110,9 @@ let recycle t (obj : Memobj.t) =
 
 let pressure_flushes t = t.pressure_flushes
 let quarantine_bypasses t = Quarantine.bypasses t.quarantine
+let quarantine_length t = Quarantine.length t.quarantine
+let quarantine_held t = Quarantine.bytes_held t.quarantine
+let quarantine_ids t = Quarantine.ids t.quarantine
 let set_evict_hook t f = t.evict_hook <- f
 let chaos_oom_after t n = t.oom_countdown <- n
 

@@ -69,6 +69,13 @@ val quarantine_bypasses : t -> int
 (** {!Quarantine.bypasses} of the heap's quarantine: pushes where a single
     freed block exceeded the whole budget and was retained anyway. *)
 
+val quarantine_length : t -> int
+val quarantine_held : t -> int
+
+val quarantine_ids : t -> int list
+(** Live view of the quarantine FIFO (object ids, oldest first), so the
+    refinement harness can check it against the pure model's queue. *)
+
 val set_evict_hook : t -> (Memobj.t -> unit) -> unit
 (** Called for every block recycled by a pressure flush, after its oracle
     state is reset, so the wrapping sanitizer can unpoison its shadow (the

@@ -36,3 +36,6 @@ let flush t =
 let bytes_held t = t.held
 let length t = Queue.length t.queue
 let bypasses t = t.bypasses
+
+let ids t =
+  List.map (fun (o : Memobj.t) -> o.Memobj.id) (List.of_seq (Queue.to_seq t.queue))

@@ -27,6 +27,11 @@ val flush : t -> Memobj.t list
 val bytes_held : t -> int
 val length : t -> int
 
+val ids : t -> int list
+(** Object ids currently queued, oldest first. Read-only view for the
+    refinement harness, which checks the live queue against the pure FIFO
+    model in [lib/spec] after every operation. *)
+
 val bypasses : t -> int
 (** Number of pushes that left the quarantine over budget even after
     evicting every older entry — i.e. how often a single block exceeded the

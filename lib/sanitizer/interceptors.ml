@@ -94,7 +94,7 @@ let memmove (san : Sanitizer.t) ~dst ~src ~n =
           san.Sanitizer.check_region ~lo:dst ~hi:(dst + n);
         ]
     in
-    if reports = [] then Memsim.Arena.blit (arena san) ~src ~dst ~len:n;
+    if reports = [] then clamped_blit san ~src ~dst ~len:n;
     reports
   end
 
@@ -102,7 +102,7 @@ let memset (san : Sanitizer.t) ~dst ~n ~byte =
   if n <= 0 then []
   else begin
     let reports = collect [ san.Sanitizer.check_region ~lo:dst ~hi:(dst + n) ] in
-    if reports = [] then Memsim.Arena.fill (arena san) ~addr:dst ~len:n byte;
+    if reports = [] then clamped_fill san ~addr:dst ~len:n byte;
     reports
   end
 

@@ -1,0 +1,65 @@
+(** The lockstep refinement harness.
+
+    Runs the real GiantSan runtime and the pure {!Model} side by side over
+    a seeded stream of operations — allocations of every kind, frees good
+    and bad, realloc, anchored and wild accesses, cached access loops that
+    straddle offset 0, region checks that straddle the arena end, and
+    memcpy/memset with overlap — auditing {e full-state} equivalence after
+    every single step: every shadow segment against the model's pure shadow
+    function, every arena byte against the model's data map, the quarantine
+    FIFO (ids, order, held bytes, bypasses), live-byte and pressure-flush
+    accounting, and the counter partition invariant.
+
+    Per operation it also checks report equivalence: a report appears
+    exactly when the model says some checked window is not fully
+    addressable, the blamed address lies inside that window, and the kind
+    equals the model's classification of the blamed byte.
+
+    The harness carries its own teeth check: {!check_mutation} plants a
+    seeded shadow-plane fault (bit flip, stale free code, overclaimed fold,
+    misfolded poisoning run) into the {e real} world only, and demands the
+    very next audit diverge. *)
+
+type mutation =
+  | M_bit_flip of int  (** xor a mask into an owned shadow segment *)
+  | M_stale_free  (** stamp a freed code over a segment that is not freed *)
+  | M_overclaim  (** promote a segment to the maximal good code *)
+  | M_misfold of int
+      (** arm [Folding.Overstate_last] and force an allocation through the
+          real poisoning kernel while the model poisons truthfully *)
+
+val mutation_name : mutation -> string
+
+val all_mutations : mutation list
+(** The canonical kill set exercised by CI: one mutation per shadow-plane
+    fault family. *)
+
+type divergence = { d_step : int; d_op : string; d_detail : string }
+
+val divergence_to_string : divergence -> string
+
+type outcome =
+  | Equivalent of { steps : int; reports : int; allocs : int; frees : int }
+  | Diverged of divergence
+
+val default_config : Giantsan_memsim.Heap.config
+(** A deliberately small world (2 KiB arena, 16-byte redzones, 512-byte
+    quarantine budget) so allocation pressure, quarantine churn and the
+    arena end are all in constant play. *)
+
+val run :
+  ?config:Giantsan_memsim.Heap.config -> seed:int -> steps:int -> unit ->
+  outcome
+(** Deterministic in [seed]: same seed, same operation stream, same
+    outcome. *)
+
+val check_mutation :
+  ?config:Giantsan_memsim.Heap.config ->
+  seed:int ->
+  steps:int ->
+  mutation ->
+  bool * string
+(** Run clean for [steps] operations, plant the mutation into the real
+    world, audit once. [(true, detail)] means the audit caught it (the
+    detail is the divergence message); [(false, detail)] is a surviving
+    mutant — a harness bug. *)

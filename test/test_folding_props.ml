@@ -23,21 +23,14 @@ let random_scene seed =
   done;
   (san, m, rng)
 
-(* Brute force: walk the shadow one segment at a time, treating every
-   folded code as "this one segment is good" and ignoring the fold's
+(* Brute force from the executable spec: walk the shadow one byte at a
+   time, trusting only each byte's own segment and ignoring any fold's
    claim about its successors. Agreement with [upper_bound] is exactly the
    encoding's soundness: a degree-d fold may only exist where d successive
    segments really are good. *)
 let linear_upper m ~addr =
-  let segments = Shadow_mem.segments m in
-  let rec scan seg =
-    if seg >= segments then seg * 8
-    else
-      let v = Shadow_mem.peek m seg in
-      if SC.is_folded v then scan (seg + 1)
-      else (seg * 8) + SC.addressable_in_segment v
-  in
-  max addr (scan (addr / 8))
+  Giantsan_spec.Ref_kernel.upper_bound (Giantsan_spec.Ref_kernel.of_shadow m)
+    ~addr
 
 (* Brute force for the reverse direction: the start of the maximal run of
    fully-addressable segments ending just before [addr]'s segment. *)
@@ -130,25 +123,35 @@ let test_bounds_sound_against_oracle =
 (* ------------------------------------------------------------------ *)
 
 (* The batched kernel memoizes the degree sequence per power-of-two
-   bracket and blits it in; it must be observationally identical to the
-   per-segment loop: same shadow bytes for every run length (crossing
-   bracket boundaries, which force template rebuilds) and the same store
-   count, with and without the seeded misfold hook. *)
+   bracket and blits it in; both it and the incremental scalar loop must be
+   observationally identical to the spec's reference kernel (the degree
+   definition evaluated per position): same shadow bytes for every run
+   length (crossing bracket boundaries, which force template rebuilds) and
+   the same store count, with and without the seeded misfold hook. *)
 let poison_kernels_agree ~misfold (first_pick, counts) =
+  let module Ref_kernel = Giantsan_spec.Ref_kernel in
   let segments = 1024 in
+  let fault = if misfold then Some (Folding.Overstate_last 1) else None in
   let check count =
     let count = count mod 700 in
     let first_seg = 1 + (first_pick mod (segments - 701)) in
     let m1 = Shadow_mem.create ~segments ~fill:SC.unallocated in
     let m2 = Shadow_mem.create ~segments ~fill:SC.unallocated in
-    Folding.with_fault
-      (if misfold then Some (Folding.Overstate_last 1) else None)
-      (fun () ->
+    let r = Ref_kernel.create ~segments ~fill:SC.unallocated in
+    Folding.with_fault fault (fun () ->
         Folding.poison_good_run m1 ~first_seg ~count;
         Folding.poison_good_run_scalar m2 ~first_seg ~count);
-    let same = ref (Shadow_mem.stores m1 = Shadow_mem.stores m2) in
+    Ref_kernel.poison_good_run ?fault r ~first_seg ~count;
+    let same =
+      ref
+        (Shadow_mem.stores m1 = Ref_kernel.stores r
+        && Shadow_mem.stores m2 = Ref_kernel.stores r)
+    in
     for p = 0 to segments - 1 do
-      if Shadow_mem.peek m1 p <> Shadow_mem.peek m2 p then same := false
+      if
+        Shadow_mem.peek m1 p <> Ref_kernel.peek r p
+        || Shadow_mem.peek m2 p <> Ref_kernel.peek r p
+      then same := false
     done;
     !same
   in

@@ -134,6 +134,41 @@ let test_underflow_tail_uses_cache () =
   Alcotest.(check int) "cold cache checks both sides" (regions2 + 2)
     c.Counters.region_checks
 
+let test_offset_zero_straddle_cache_ub_tail () =
+  (* named regression for the cache_ub tail at offset 0 (a divergence
+     class the refinement harness generator is required to cover): a
+     straddling access (off < 0 < off + width) splits at the cache base;
+     the tail is served by the quasi-bound exactly when
+     off + width <= cache_ub, and an access ending exactly at offset 0
+     does no tail work at all *)
+  let san, base = fresh () in
+  let mid = base + 256 in
+  let cache = san.San.new_cache ~base:mid in
+  let c = san.San.counters in
+  let regions = c.Counters.region_checks and hits = c.Counters.cache_hits in
+  Alcotest.(check bool) "ends exactly at offset 0: safe" true
+    (Helpers.check_is_safe (san.San.cached_access cache ~off:(-4) ~width:4));
+  Alcotest.(check int) "ends exactly at offset 0: underflow side only"
+    (regions + 1) c.Counters.region_checks;
+  Alcotest.(check int) "ends exactly at offset 0: no tail hit" hits
+    c.Counters.cache_hits;
+  let regions = c.Counters.region_checks in
+  Alcotest.(check bool) "cold straddle: safe" true
+    (Helpers.check_is_safe (san.San.cached_access cache ~off:(-4) ~width:8));
+  Alcotest.(check int) "cold straddle: both sides checked" (regions + 2)
+    c.Counters.region_checks;
+  (* warm the bound past the tail, then straddle again *)
+  for j = 0 to 7 do
+    ignore (san.San.cached_access cache ~off:(8 * j) ~width:8)
+  done;
+  let regions = c.Counters.region_checks and hits = c.Counters.cache_hits in
+  Alcotest.(check bool) "warm straddle: safe" true
+    (Helpers.check_is_safe (san.San.cached_access cache ~off:(-4) ~width:8));
+  Alcotest.(check int) "warm straddle: only the underflow side checked"
+    (regions + 1) c.Counters.region_checks;
+  Alcotest.(check int) "warm straddle: tail is a cache hit" (hits + 1)
+    c.Counters.cache_hits
+
 let test_flush_catches_mid_loop_free () =
   (* Figure 9 line 14: a free during the loop is caught by the final check *)
   let san, base = fresh () in
@@ -199,6 +234,8 @@ let suite =
         test_negative_offset_within_object;
       Helpers.qt "straddling access: tail served by the cache" `Quick
         test_underflow_tail_uses_cache;
+      Helpers.qt "offset-0 straddle: cache_ub tail paths" `Quick
+        test_offset_zero_straddle_cache_ub_tail;
       Helpers.qt "flush catches mid-loop free" `Quick
         test_flush_catches_mid_loop_free;
       Helpers.qt "flush is silent on clean loops" `Quick

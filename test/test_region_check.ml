@@ -82,7 +82,16 @@ let test_empty_region () =
   Alcotest.(check bool) "empty region safe" true
     (safe (RC.check m ~l:base ~r:base));
   Alcotest.(check bool) "reversed region safe" true
-    (safe (RC.check m ~l:base ~r:(base - 8)))
+    (safe (RC.check m ~l:base ~r:(base - 8)));
+  (* regression, found by the refinement harness: a zero-length region at
+     an UNALIGNED address over non-addressable memory used to align down
+     first and report bytes the operation never touches *)
+  Alcotest.(check bool) "empty region at an unaligned redzone address" true
+    (safe (RC.check_unaligned m ~l:(base - 3) ~r:(base - 3)));
+  Alcotest.(check bool) "empty region at unaligned unallocated memory" true
+    (safe (RC.check_unaligned m ~l:(base + 517) ~r:(base + 517)));
+  Alcotest.(check bool) "reversed unaligned region safe" true
+    (safe (RC.check_unaligned m ~l:(base + 517) ~r:(base + 509)))
 
 let test_region_in_redzone () =
   let m, base = mk_object_shadow ~size:64 in

@@ -4,11 +4,21 @@
    counted store, so a drifting counter corrupts every Table 2 number. *)
 
 module Shadow_mem = Giantsan_shadow.Shadow_mem
+module Ref_kernel = Giantsan_spec.Ref_kernel
 
 (* clamped intersection of [lo, hi) with [0, segments) *)
 let clamped_len ~segments ~lo ~hi =
   let lo' = max 0 lo and hi' = min segments hi in
   max 0 (hi' - lo')
+
+(* byte-for-byte and counter-for-counter agreement with the scalar
+   reference kernel from the executable spec *)
+let agrees_with_ref m (r : Ref_kernel.t) =
+  let same = ref (Shadow_mem.stores m = Ref_kernel.stores r) in
+  for p = 0 to Shadow_mem.segments m - 1 do
+    if Shadow_mem.peek m p <> Ref_kernel.peek r p then same := false
+  done;
+  !same
 
 let test_fill_range_counts_only_clamped =
   Helpers.q "fill_range stores = clamped length (no drift past the arena)"
@@ -47,19 +57,10 @@ let test_blit_pattern_equals_per_byte_loop =
       in
       let pat_off = seed mod 8 in
       let m1 = Shadow_mem.create ~segments ~fill:0 in
-      let m2 = Shadow_mem.create ~segments ~fill:0 in
+      let m2 = Ref_kernel.create ~segments ~fill:0 in
       Shadow_mem.blit_pattern m1 ~lo ~pattern ~pat_off ~len;
-      (* reference: per-byte sets, skipping (not counting) out-of-arena
-         writes — the batched kernels' counting discipline *)
-      for j = 0 to len - 1 do
-        if lo + j >= 0 && lo + j < segments then
-          Shadow_mem.set m2 (lo + j) (Char.code (Bytes.get pattern (pat_off + j)))
-      done;
-      let same_bytes = ref true in
-      for p = 0 to segments - 1 do
-        if Shadow_mem.peek m1 p <> Shadow_mem.peek m2 p then same_bytes := false
-      done;
-      !same_bytes && Shadow_mem.stores m1 = Shadow_mem.stores m2)
+      Ref_kernel.blit_pattern m2 ~lo ~pattern ~pat_off ~len;
+      agrees_with_ref m1 m2)
 
 let test_blit_pattern_window_slides_on_clamp =
   Helpers.qt "negative lo slides the pattern window" `Quick (fun () ->
@@ -72,11 +73,53 @@ let test_blit_pattern_window_slides_on_clamp =
         (List.map (Shadow_mem.peek m) [ 0; 1; 2; 3 ]);
       Alcotest.(check int) "three counted stores" 3 (Shadow_mem.stores m))
 
+let test_fill_range_equals_ref_kernel =
+  Helpers.q "fill_range = spec reference (bytes + store count)"
+    QCheck.(triple (int_range 1 200) (int_range (-100) 300) (int_range 0 300))
+    (fun (segments, lo, len) ->
+      let m1 = Shadow_mem.create ~segments ~fill:0 in
+      let m2 = Ref_kernel.create ~segments ~fill:0 in
+      Shadow_mem.fill_range m1 ~lo ~hi:(lo + len) 7;
+      Ref_kernel.fill_range m2 ~lo ~hi:(lo + len) 7;
+      agrees_with_ref m1 m2)
+
+(* Pinned model-audit cases: zero-length ranges and ranges ending exactly
+   at the arena end must write nothing / everything they claim and count
+   exactly the clamped length (the divergence classes the refinement
+   generator is required to cover). *)
+let test_batched_kernels_zero_length_and_arena_end =
+  Helpers.qt "zero-length and arena-end edges match the reference" `Quick
+    (fun () ->
+      let segments = 64 in
+      let check ~what ~lo ~hi =
+        let m1 = Shadow_mem.create ~segments ~fill:0 in
+        let m2 = Ref_kernel.create ~segments ~fill:0 in
+        Shadow_mem.fill_range m1 ~lo ~hi 5;
+        Ref_kernel.fill_range m2 ~lo ~hi 5;
+        Alcotest.(check bool) what true (agrees_with_ref m1 m2)
+      in
+      check ~what:"len=0 in the middle" ~lo:10 ~hi:10;
+      check ~what:"len=0 at the arena end" ~lo:segments ~hi:segments;
+      check ~what:"len=0 past the arena end" ~lo:(segments + 4) ~hi:(segments + 4);
+      check ~what:"range ending exactly at the arena end" ~lo:60 ~hi:segments;
+      let pattern = Bytes.of_string "\001\002\003\004" in
+      let m1 = Shadow_mem.create ~segments ~fill:0 in
+      let m2 = Ref_kernel.create ~segments ~fill:0 in
+      Shadow_mem.blit_pattern m1 ~lo:62 ~pattern ~pat_off:0 ~len:4;
+      Ref_kernel.blit_pattern m2 ~lo:62 ~pattern ~pat_off:0 ~len:4;
+      Alcotest.(check bool) "blit straddling the arena end" true
+        (agrees_with_ref m1 m2);
+      Shadow_mem.blit_pattern m1 ~lo:30 ~pattern ~pat_off:2 ~len:0;
+      Ref_kernel.blit_pattern m2 ~lo:30 ~pattern ~pat_off:2 ~len:0;
+      Alcotest.(check bool) "zero-length blit" true (agrees_with_ref m1 m2))
+
 let suite =
   ( "shadow",
     [
       test_fill_range_counts_only_clamped;
       test_fill_range_tail_eviction_case;
+      test_fill_range_equals_ref_kernel;
       test_blit_pattern_equals_per_byte_loop;
       test_blit_pattern_window_slides_on_clamp;
+      test_batched_kernels_zero_length_and_arena_end;
     ] )
