@@ -366,6 +366,18 @@ let profile_stats () =
           })
     (Array.to_list outcome.Giantsan_parallel.Sweep.o_results)
 
+(* Sustained-traffic numbers from the multi-tenant service loop under the
+   virtual clock: fully deterministic (latencies are synthesized from the
+   sanitizer's own event counts), so the rows are identical across machines
+   and across [jobs] — they ride in the bench JSON as a "service" section
+   the perf gate ignores. *)
+let service_stats () =
+  let module Loop = Giantsan_service.Loop in
+  let cfg =
+    { Loop.default_config with Loop.tenants = 4; seed = 11; ticks = 64; jobs }
+  in
+  Loop.service_rows (Loop.run cfg)
+
 let () =
   print_endline "GiantSan reproduction benchmarks (Bechamel)";
   print_endline "===========================================";
@@ -386,8 +398,9 @@ let () =
     let profiles =
       Telemetry.Span.with_span "bench:profile-sweep" profile_stats
     in
+    let service = Telemetry.Span.with_span "bench:service" service_stats in
     let body =
-      Telemetry.Export.bench_json ~groups:group_rows ~profiles
+      Telemetry.Export.bench_json ~groups:group_rows ~profiles ~service
         ~spans:(Telemetry.Span.completed ())
         ()
     in

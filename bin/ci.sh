@@ -144,6 +144,50 @@ assert_exit 3 dune exec bin/main.exe -- chaos --oom-demo
 assert_exit 124 dune exec bin/main.exe -- no-such-subcommand
 echo "exit codes 2/3/124 as documented"
 
+echo "== service loop smoke (fixed seed, vs committed expectation) =="
+# The multi-tenant service under the virtual clock is byte-deterministic,
+# so its stdout diffs against a checked-in expectation, and the flight
+# recorder dump must pass the strict NDJSON checker (the new service
+# event kinds are on the whitelist).
+dune exec bin/main.exe -- serve --seed 7 --tenants 4 --duration 48 \
+  --dump-ndjson "$tmpdir/serve.ndjson" > "$tmpdir/serve1.txt" 2> /dev/null
+if ! cmp -s test/expect/serve_seed7.txt "$tmpdir/serve1.txt"; then
+  echo "FAIL: serve output drifted from test/expect/serve_seed7.txt" >&2
+  diff test/expect/serve_seed7.txt "$tmpdir/serve1.txt" >&2 || true
+  exit 1
+fi
+dune exec bin/main.exe -- check-ndjson "$tmpdir/serve.ndjson"
+
+echo "== service determinism (serial vs --jobs 2) =="
+# One pool task per tenant per tick; tenants share nothing, so stdout and
+# the recorder dump must be byte-identical for any pool width.
+dune exec bin/main.exe -- serve --seed 7 --tenants 4 --duration 48 --jobs 2 \
+  --dump-ndjson "$tmpdir/serve_j2.ndjson" > "$tmpdir/serve2.txt" 2> /dev/null
+if ! cmp -s "$tmpdir/serve1.txt" "$tmpdir/serve2.txt"; then
+  echo "FAIL: serve stdout differs between jobs=1 and jobs=2" >&2
+  diff "$tmpdir/serve1.txt" "$tmpdir/serve2.txt" >&2 || true
+  exit 1
+fi
+if ! cmp -s "$tmpdir/serve.ndjson" "$tmpdir/serve_j2.ndjson"; then
+  echo "FAIL: serve recorder dump differs between jobs=1 and jobs=2" >&2
+  diff "$tmpdir/serve.ndjson" "$tmpdir/serve_j2.ndjson" >&2 || true
+  exit 1
+fi
+echo "byte-identical service run across jobs=1 and jobs=2"
+
+echo "== service SLO watchdog exit codes =="
+# An unmeetable throughput floor must quarantine and exit 1; a malformed
+# SLO spec is corrupt input (2); unknown NDJSON kinds are rejected
+# strictly but pass with --lax.
+assert_exit 1 dune exec bin/main.exe -- serve --seed 7 --tenants 2 \
+  --duration 48 --slo ops=999999999
+assert_exit 2 dune exec bin/main.exe -- serve --slo p999=banana
+printf '{"seq":0,"ev":"wormhole"}\n' > "$tmpdir/foreign.ndjson"
+assert_exit 2 dune exec bin/main.exe -- check-ndjson "$tmpdir/foreign.ndjson"
+assert_exit 0 dune exec bin/main.exe -- check-ndjson --lax \
+  "$tmpdir/foreign.ndjson"
+echo "SLO breach exits 1, bad spec 2, strict/lax NDJSON as documented"
+
 echo "== perf gate (vs BENCH_giantsan.json baseline) =="
 # The deterministic profile sweep only: event counts must reproduce the
 # committed baseline exactly, ns/op within ±25%. Wall-clock bechamel

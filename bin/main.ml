@@ -284,8 +284,8 @@ let trace_cmd =
 let check_ndjson_cmd =
   let doc =
     "Validate an NDJSON trace dump: every non-empty line must be one JSON \
-     object with an $(b,ev) string field and a non-negative $(b,seq) int \
-     field."
+     object with an $(b,ev) string field naming a known event kind and a \
+     non-negative $(b,seq) int field."
   in
   let file =
     Arg.(
@@ -293,23 +293,31 @@ let check_ndjson_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"FILE" ~doc:"NDJSON file to validate.")
   in
+  let lax =
+    Arg.(
+      value & flag
+      & info [ "lax" ]
+          ~doc:
+            "Accept unknown $(b,ev) kinds (shape checks only) — the escape \
+             hatch for dumps produced by a newer writer.")
+  in
   Cmd.v
     (Cmd.info "check-ndjson" ~doc)
     Term.(
-      const (fun file ->
+      const (fun file lax ->
           match In_channel.with_open_text file In_channel.input_all with
           | exception Sys_error e ->
             Printf.eprintf "check-ndjson: %s\n" e;
             2
           | text -> (
-            match Giantsan_telemetry.Export.check_ndjson text with
+            match Giantsan_telemetry.Export.check_ndjson ~lax text with
             | Ok n ->
               Printf.printf "%s: %d event line(s) OK\n" file n;
               0
             | Error e ->
               Printf.eprintf "check-ndjson: %s: %s\n" file e;
               2))
-      $ file)
+      $ file $ lax)
 
 let bench_compare_cmd =
   let doc =
@@ -664,6 +672,209 @@ let spec_cmd =
                 if !survived = 0 then 0 else 1))
       $ seed $ runs $ steps $ mutate)
 
+let serve_cmd =
+  let module Service = Giantsan_service in
+  let doc =
+    "Run the long-lived multi-tenant sanitizer service: $(b,--tenants) \
+     isolated arenas served round-robin over the domain pool, each with a \
+     seeded open-ended request stream, an HDR latency histogram, \
+     sliding-window rate counters, a bounded flight recorder, and an SLO \
+     watchdog that escalates breach streaks breached/degraded/quarantined \
+     without perturbing other tenants. Under the (default) virtual clock \
+     stdout is byte-identical across runs and across $(b,--jobs). Exits 0 \
+     when every tenant ends healthy, 1 on any SLO breach, audit fault or \
+     quarantine."
+  in
+  let tenants =
+    Arg.(
+      value & opt int 4
+      & info [ "tenants" ] ~docv:"N" ~doc:"Number of isolated tenants.")
+  in
+  let duration =
+    Arg.(
+      value & opt int 64
+      & info [ "duration" ] ~docv:"TICKS" ~doc:"Run length, in service ticks.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 7
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Master seed; every tenant's streams derive from it.")
+  in
+  let quantum =
+    Arg.(
+      value & opt int 32
+      & info [ "quantum" ] ~docv:"OPS"
+          ~doc:"Max requests served per tenant per tick (halved while \
+                degraded).")
+  in
+  let slo =
+    Arg.(
+      value & opt string "none"
+      & info [ "slo" ] ~docv:"SPEC"
+          ~doc:
+            "SLO thresholds as comma-separated key=value clauses: $(b,p999) \
+             (ns ceiling), $(b,err) (error-rate ceiling), $(b,ops) \
+             (throughput floor); e.g. $(b,p999=20000,err=0.05,ops=50000).")
+  in
+  let recorder =
+    Arg.(
+      value & opt int 64
+      & info [ "recorder" ] ~docv:"M"
+          ~doc:"Flight-recorder depth: the last $(docv) events per tenant.")
+  in
+  let real_clock =
+    Arg.(
+      value & flag
+      & info [ "real-clock" ]
+          ~doc:
+            "Measure wall-clock latencies instead of the deterministic \
+             virtual clock (output no longer byte-reproducible).")
+  in
+  let chaos_tenant =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "chaos-tenant" ] ~docv:"T"
+          ~doc:
+            "Plant a seeded shadow-plane fault into tenant $(docv) mid-run; \
+             the audit must catch it in exactly that tenant's flight \
+             recorder.")
+  in
+  let chaos_tick =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "chaos-tick" ] ~docv:"TICK"
+          ~doc:"Tick the chaos fault lands at (default: half the duration).")
+  in
+  let report_every =
+    Arg.(
+      value & opt int 16
+      & info [ "report-every" ] ~docv:"TICKS"
+          ~doc:"Live summary cadence (0 disables).")
+  in
+  let bench_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bench-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a bench-JSON document whose $(b,service) section carries \
+             the run's latency/throughput rows to $(docv).")
+  in
+  let dump_ndjson =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dump-ndjson" ] ~docv:"FILE"
+          ~doc:
+            "Write every tenant's final flight-recorder contents to $(docv) \
+             as replayable NDJSON.")
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const (fun tenants duration seed quantum slo recorder real_clock
+                 chaos_tenant chaos_tick report_every bench_out dump_ndjson
+                 jobs ->
+          guard_oom (fun () ->
+              match Service.Slo.parse slo with
+              | Error e ->
+                Printf.eprintf "serve: bad --slo: %s\n" e;
+                2
+              | Ok slo ->
+                let chaos =
+                  Option.map
+                    (fun t ->
+                      let at =
+                        match chaos_tick with
+                        | Some k -> k
+                        | None -> duration / 2
+                      in
+                      ( t,
+                        Giantsan_chaos.Fault.Stale_free { pick = 1 + seed },
+                        at ))
+                    chaos_tenant
+                in
+                let tenant_cfg =
+                  {
+                    Service.Tenant.default_config with
+                    virtual_clock = not real_clock;
+                    recorder_cap = recorder;
+                  }
+                in
+                let cfg =
+                  {
+                    Service.Loop.default_config with
+                    tenants;
+                    seed;
+                    ticks = duration;
+                    quantum;
+                    jobs;
+                    slo;
+                    tenant_cfg;
+                    chaos;
+                    report_every;
+                  }
+                in
+                (* jobs only to stderr: stdout must diff clean across --jobs *)
+                Printf.eprintf "serve: %d tenant(s) on %d domain(s)\n%!" tenants
+                  jobs;
+                Printf.printf
+                  "serve: tenants=%d ticks=%d quantum=%d seed=%d slo=%s \
+                   clock=%s\n"
+                  tenants duration quantum seed (Service.Slo.to_string slo)
+                  (if real_clock then "monotonic" else "virtual");
+                let o = Service.Loop.run ~progress:print_endline cfg in
+                print_string (Service.Loop.render_summary o);
+                (match o.Service.Loop.o_chaos with
+                | Some (t, d) ->
+                  Printf.printf "chaos: planted %s into tenant-%d\n" d t
+                | None -> ());
+                List.iter
+                  (fun (t, d) -> Printf.printf "fault: tenant-%d %s\n" t d)
+                  o.Service.Loop.o_faults;
+                List.iter
+                  (fun (t, lines) ->
+                    Printf.printf
+                      "flight recorder dumped for tenant-%d (%d events)\n" t
+                      (List.length lines))
+                  o.Service.Loop.o_dumps;
+                Printf.printf
+                  (if Service.Loop.healthy o then
+                     format_of_string "service healthy: %d ops, 0 breaches\n"
+                   else
+                     format_of_string
+                       "service DEGRADED: %d ops (see breaches/faults above)\n")
+                  o.Service.Loop.o_ops;
+                (match dump_ndjson with
+                | None -> ()
+                | Some path ->
+                  let oc = open_out path in
+                  List.iter
+                    (fun (_, lines) ->
+                      List.iter
+                        (fun l ->
+                          output_string oc l;
+                          output_char oc '\n')
+                        lines)
+                    o.Service.Loop.o_recorders;
+                  close_out oc;
+                  Printf.eprintf "flight recorders written to %s\n" path);
+                (match bench_out with
+                | None -> ()
+                | Some path ->
+                  Giantsan_telemetry.Export.write_file path
+                    (Giantsan_telemetry.Export.bench_json ~groups:[]
+                       ~profiles:[]
+                       ~service:(Service.Loop.service_rows o)
+                       ());
+                  Printf.eprintf "service bench rows written to %s\n" path);
+                if Service.Loop.healthy o then 0 else 1))
+      $ tenants $ duration $ seed $ quantum $ slo $ recorder $ real_clock
+      $ chaos_tenant $ chaos_tick $ report_every $ bench_out $ dump_ndjson
+      $ jobs_arg)
+
 let validate_cmd =
   let doc = "Re-validate the ground-truth labels of every generated corpus." in
   Cmd.v (Cmd.info "validate" ~doc)
@@ -685,7 +896,7 @@ let () =
   let cmds =
     all_cmd :: extras_cmd :: fuzz_cmd :: fuzz_matrix_cmd :: replay_cmd
     :: trace_cmd :: check_ndjson_cmd :: bench_compare_cmd :: sweep_cmd
-    :: chaos_cmd :: spec_cmd :: validate_cmd
+    :: chaos_cmd :: spec_cmd :: serve_cmd :: validate_cmd
     :: List.map
          (fun id -> experiment_cmd id id)
          (Giantsan_report.Experiments.all_ids

@@ -1,0 +1,91 @@
+(** The multi-tenant service loop: N isolated {!Tenant}s driven for a
+    fixed number of ticks over the {!Giantsan_parallel.Pool} domain pool,
+    with a serial control plane (watchdog + chaos + audit) between ticks.
+
+    One tick is: (1) the control plane draws each tenant's arrival burst
+    from its private stream and enqueues it (backpressure sheds past the
+    queue bound); (2) the pool serves one quantum per tenant — one task
+    each, any domain, safe because tenants share nothing; (3) serially, in
+    tenant-id order: scheduled chaos faults are planted, the shadow-vs-
+    oracle audit runs, and the SLO watchdog evaluates every newly closed
+    rate window, escalating breach streaks breached → degraded (quantum
+    halved) → quarantined (arrivals shed, flight recorder dumped).
+
+    Under the virtual clock the whole run — summaries, recorder dumps,
+    rendered table — is a pure function of [(seed, tenants, ticks, ...)]
+    and independent of [jobs]: per-tenant state is only ever touched by
+    one task per tick, the pool's join publishes it back, and the control
+    plane runs in a fixed order. The determinism tests diff the rendered
+    output byte-for-byte across [jobs] 1/2/4. *)
+
+type config = {
+  tenants : int;
+  seed : int;
+  ticks : int;  (** duration of the run, in ticks *)
+  quantum : int;  (** max requests served per tenant per tick *)
+  arrival_mean : int;  (** mean arrivals per tenant per tick *)
+  jobs : int;  (** pool width for the serve phase *)
+  slo : Slo.t;
+  tenant_cfg : Tenant.config;
+  chaos : (int * Giantsan_chaos.Fault.shadow_fault * int) option;
+      (** [(tenant, fault, at_tick)]: plant [fault] into exactly that
+          tenant's private planes at the start of that tick *)
+  audit_every : int;  (** selfcheck cadence in ticks; 0 disables *)
+  report_every : int;  (** live-summary cadence in ticks; 0 disables *)
+}
+
+val default_config : config
+(** 4 tenants, seed 7, 64 ticks, quantum 32, arrivals 24/tick, jobs 1,
+    no SLO, {!Tenant.default_config}, no chaos, audit every 8 ticks. *)
+
+type tenant_summary = {
+  s_id : int;
+  s_state : Tenant.state;
+  s_ops : int;
+  s_errors : int;
+  s_shed : int;
+  s_breaches : int;
+  s_windows : int;
+  s_p50 : float;
+  s_p99 : float;
+  s_p999 : float;
+  s_ops_per_sec : float;
+  s_span_ns : int;  (** tenant-clock time consumed by the run *)
+}
+
+type outcome = {
+  o_tenants : tenant_summary list;  (** in tenant-id order *)
+  o_latency : Giantsan_telemetry.Latency.t;  (** all tenants, merged *)
+  o_ops : int;
+  o_errors : int;
+  o_shed : int;
+  o_breaches : int;
+  o_quarantined : int;
+  o_ops_per_sec : float;
+      (** sum of per-tenant sustained rates — tenants run concurrently,
+          each against its own clock, so rates add *)
+  o_chaos : (int * string) option;  (** planted fault, human-readable *)
+  o_faults : (int * string) list;  (** audit detections, in tick order *)
+  o_dumps : (int * string list) list;
+      (** flight-recorder NDJSON dumped at each quarantine/fault *)
+  o_recorders : (int * string list) list;
+      (** every tenant's final flight-recorder contents, in id order —
+          what [serve --dump-ndjson] writes and the isolation tests
+          inspect *)
+}
+
+val run : ?progress:(string -> unit) -> config -> outcome
+(** Drive the service for [ticks] ticks. [progress] receives one live
+    summary line every [report_every] ticks (deterministic under the
+    virtual clock). *)
+
+val healthy : outcome -> bool
+(** No SLO breach, no audit fault, no quarantined tenant. *)
+
+val render_summary : outcome -> string
+(** The deterministic end-of-run table (one row per tenant + a global
+    row) the CLI prints and the CI expect-file pins. *)
+
+val service_rows : outcome -> Giantsan_telemetry.Export.service_row list
+(** Global row first, then one row per tenant — the [service] section of
+    the bench export. *)

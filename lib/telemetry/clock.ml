@@ -1,0 +1,19 @@
+type t =
+  | Virtual of { mutable now : int }
+  | Monotonic of { epoch : float }
+
+let virtual_ ?(start_ns = 0) () = Virtual { now = start_ns }
+
+let monotonic () = Monotonic { epoch = Unix.gettimeofday () }
+
+let is_virtual = function Virtual _ -> true | Monotonic _ -> false
+
+let now_ns = function
+  | Virtual v -> v.now
+  | Monotonic { epoch } ->
+    int_of_float ((Unix.gettimeofday () -. epoch) *. 1e9)
+
+let advance t ns =
+  match t with
+  | Virtual v -> if ns > 0 then v.now <- v.now + ns
+  | Monotonic _ -> ()

@@ -1,0 +1,30 @@
+(** Injectable time source for the service plane.
+
+    Two implementations behind one value type: a {e monotonic} clock that
+    reads real wall time (for live runs), and a {e virtual} clock that only
+    moves when [advance] is called (for tests and CI). Everything in
+    [lib/service] takes its notion of "now" from a [t], never from the
+    ambient environment, so a service run under the virtual clock is a pure
+    function of its seed — latency histograms, sliding windows, SLO
+    verdicts and flight-recorder timestamps all reproduce byte-for-byte,
+    the same determinism discipline the trace ring's sequence numbers
+    follow. *)
+
+type t
+
+val virtual_ : ?start_ns:int -> unit -> t
+(** A clock that starts at [start_ns] (default 0) and moves only via
+    [advance]. *)
+
+val monotonic : unit -> t
+(** Real wall-clock time in nanoseconds since the clock value was created.
+    [advance] is a no-op on it. *)
+
+val is_virtual : t -> bool
+
+val now_ns : t -> int
+(** Current time in nanoseconds. Monotone non-decreasing for both kinds. *)
+
+val advance : t -> int -> unit
+(** [advance t ns] moves a virtual clock forward by [ns] (negative values
+    are ignored); no-op on a monotonic clock. *)

@@ -17,6 +17,27 @@ type t =
   | Report of { tool : string; kind : string; addr : int }
   | Phase_begin of { name : string }
   | Phase_end of { name : string }
+  (* service-plane events (lib/service): tenant-scoped, stamped with the
+     injected clock's virtual/monotonic nanoseconds, not wall time *)
+  | Service_op of {
+      tenant : int;
+      op : string;
+      slot : int;
+      arg : int;  (** alloc: size; access/region: byte offset *)
+      width : int;  (** access: width; region: length; else 0 *)
+      latency_ns : int;
+      t_ns : int;
+    }
+  | Service_report of { tenant : int; kind : string; addr : int; t_ns : int }
+  | Slo_breach of {
+      tenant : int;
+      slo : string;
+      value : float;
+      limit : float;
+      t_ns : int;
+    }
+  | Tenant_state of { tenant : int; state : string; t_ns : int }
+  | Tenant_fault of { tenant : int; detail : string; t_ns : int }
 
 let name = function
   | Malloc _ -> "malloc"
@@ -29,6 +50,21 @@ let name = function
   | Report _ -> "report"
   | Phase_begin _ -> "phase_begin"
   | Phase_end _ -> "phase_end"
+  | Service_op _ -> "service_op"
+  | Service_report _ -> "service_report"
+  | Slo_breach _ -> "slo_breach"
+  | Tenant_state _ -> "tenant_state"
+  | Tenant_fault _ -> "tenant_fault"
+
+(* Every kind [name] can produce — the strict check-ndjson validator's
+   whitelist. Keep in sync with [name] (the pinned telemetry test renders
+   one event of each constructor and validates it strictly). *)
+let all_names =
+  [
+    "malloc"; "free"; "access"; "shadow_load"; "cache_hit"; "cache_update";
+    "region_check"; "report"; "phase_begin"; "phase_end"; "service_op";
+    "service_report"; "slo_breach"; "tenant_state"; "tenant_fault";
+  ]
 
 let path_name = function Fast -> "fast" | Slow -> "slow"
 
@@ -64,6 +100,34 @@ let to_json ~seq ev =
       ]
     | Phase_begin { name } -> [ ("name", Json.Str name) ]
     | Phase_end { name } -> [ ("name", Json.Str name) ]
+    | Service_op { tenant; op; slot; arg; width; latency_ns; t_ns } ->
+      [
+        ("tenant", Json.Int tenant); ("op", Json.Str op);
+        ("slot", Json.Int slot); ("arg", Json.Int arg);
+        ("width", Json.Int width); ("latency_ns", Json.Int latency_ns);
+        ("t_ns", Json.Int t_ns);
+      ]
+    | Service_report { tenant; kind; addr; t_ns } ->
+      [
+        ("tenant", Json.Int tenant); ("kind", Json.Str kind);
+        ("addr", Json.Int addr); ("t_ns", Json.Int t_ns);
+      ]
+    | Slo_breach { tenant; slo; value; limit; t_ns } ->
+      [
+        ("tenant", Json.Int tenant); ("slo", Json.Str slo);
+        ("value", Json.Float value); ("limit", Json.Float limit);
+        ("t_ns", Json.Int t_ns);
+      ]
+    | Tenant_state { tenant; state; t_ns } ->
+      [
+        ("tenant", Json.Int tenant); ("state", Json.Str state);
+        ("t_ns", Json.Int t_ns);
+      ]
+    | Tenant_fault { tenant; detail; t_ns } ->
+      [
+        ("tenant", Json.Int tenant); ("detail", Json.Str detail);
+        ("t_ns", Json.Int t_ns);
+      ]
   in
   Json.Obj
     (("seq", Json.Int seq) :: ("ev", Json.Str (name ev)) :: fields)

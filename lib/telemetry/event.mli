@@ -24,11 +24,42 @@ type t =
   | Report of { tool : string; kind : string; addr : int }
   | Phase_begin of { name : string }
   | Phase_end of { name : string }
+  (* Service-plane events ([lib/service]): tenant-scoped and stamped with
+     the injected {!Clock}'s nanoseconds ([t_ns]) — virtual in tests/CI,
+     so flight-recorder dumps stay byte-deterministic. *)
+  | Service_op of {
+      tenant : int;
+      op : string;  (** "alloc" | "free" | "access" | "region" | "oob" *)
+      slot : int;  (** tenant-local pointer register *)
+      arg : int;  (** alloc: size; access/region: byte offset; else 0 *)
+      width : int;  (** access: width; region: length; else 0 *)
+      latency_ns : int;
+      t_ns : int;
+    }
+  | Service_report of { tenant : int; kind : string; addr : int; t_ns : int }
+      (** a sanitizer report produced while serving a tenant request *)
+  | Slo_breach of {
+      tenant : int;
+      slo : string;  (** "p999" | "error_rate" | "ops_per_sec" *)
+      value : float;
+      limit : float;
+      t_ns : int;
+    }
+  | Tenant_state of { tenant : int; state : string; t_ns : int }
+      (** watchdog escalation: "breached" / "degraded" / "quarantined" *)
+  | Tenant_fault of { tenant : int; detail : string; t_ns : int }
+      (** a planted or detected fault attributed to one tenant *)
 
 val name : t -> string
 (** The NDJSON ["ev"] tag: "malloc", "free", "access", "shadow_load",
     "cache_hit", "cache_update", "region_check", "report", "phase_begin",
-    "phase_end". *)
+    "phase_end", "service_op", "service_report", "slo_breach",
+    "tenant_state", "tenant_fault". *)
+
+val all_names : string list
+(** Every tag [name] can produce — the whitelist the strict
+    [check-ndjson] validator accepts (unknown kinds are a named error
+    unless [--lax]). *)
 
 val path_name : path -> string
 

@@ -3,16 +3,20 @@ let ndjson_lines events =
 
 let trace_ndjson () = ndjson_lines (Trace.events ())
 
-let check_ndjson_line line =
+let check_ndjson_line ?(lax = false) line =
   match Json.parse line with
   | Error e -> Error e
   | Ok json -> (
     match (Json.member "ev" json, Json.member "seq" json) with
-    | Some (Json.Str _), Some (Json.Int seq) when seq >= 0 -> Ok ()
+    | Some (Json.Str ev), Some (Json.Int seq) when seq >= 0 ->
+      (* strict by default: an "ev" tag no emitter produces is a lie about
+         provenance, not a format quirk — name it instead of nodding *)
+      if lax || List.mem ev Event.all_names then Ok ()
+      else Error (Printf.sprintf "unknown event kind %S" ev)
     | Some (Json.Str _), _ -> Error "missing or invalid \"seq\" field"
     | _, _ -> Error "missing or invalid \"ev\" field")
 
-let check_ndjson text =
+let check_ndjson ?(lax = false) text =
   let lines = String.split_on_char '\n' text in
   let rec go i count = function
     | [] -> Ok count
@@ -20,7 +24,7 @@ let check_ndjson text =
       let line = String.trim line in
       if line = "" then go (i + 1) count rest
       else (
-        match check_ndjson_line line with
+        match check_ndjson_line ~lax line with
         | Ok () -> go (i + 1) (count + 1) rest
         | Error e -> Error (Printf.sprintf "line %d: %s" i e))
   in
@@ -60,7 +64,35 @@ type bench_profile = {
   bp_slow_checks : int;
 }
 
-let bench_json ~groups ~profiles ?(spans = []) () =
+type service_row = {
+  sv_scope : string;
+  sv_tenants : int;
+  sv_windows : int;
+  sv_ops : int;
+  sv_errors : int;
+  sv_breaches : int;
+  sv_ops_per_sec : float;
+  sv_latency_p50 : float;
+  sv_latency_p99 : float;
+  sv_latency_p999 : float;
+}
+
+let service_row_json r =
+  Json.Obj
+    [
+      ("scope", Json.Str r.sv_scope);
+      ("tenants", Json.Int r.sv_tenants);
+      ("windows", Json.Int r.sv_windows);
+      ("ops", Json.Int r.sv_ops);
+      ("errors", Json.Int r.sv_errors);
+      ("breaches", Json.Int r.sv_breaches);
+      ("ops_per_sec", Json.Float r.sv_ops_per_sec);
+      ("latency_p50", Json.Float r.sv_latency_p50);
+      ("latency_p99", Json.Float r.sv_latency_p99);
+      ("latency_p999", Json.Float r.sv_latency_p999);
+    ]
+
+let bench_json ~groups ~profiles ?(service = []) ?(spans = []) () =
   let group_json (name, rows) =
     Json.Obj
       [
@@ -100,12 +132,67 @@ let bench_json ~groups ~profiles ?(spans = []) () =
   in
   Json.to_string
     (Json.Obj
-       [
-         ("schema", Json.Str "giantsan-bench/v1");
-         ("groups", Json.List (List.map group_json groups));
-         ("profiles", Json.List (List.map profile_json profiles));
-         ("spans", Json.List (List.map Span.to_json spans));
-       ])
+       ([
+          ("schema", Json.Str "giantsan-bench/v1");
+          ("groups", Json.List (List.map group_json groups));
+          ("profiles", Json.List (List.map profile_json profiles));
+        ]
+       @ (if service = [] then []
+          else [ ("service", Json.List (List.map service_row_json service)) ])
+       @ [ ("spans", Json.List (List.map Span.to_json spans)) ]))
+
+(* Round-trip parser for the [service] section (the sustained-traffic rows
+   the [serve] subcommand and the bench export write): used by the export
+   round-trip tests and available to external consumers of the schema. *)
+let parse_bench_service text =
+  match Json.parse text with
+  | Error e -> Error ("invalid JSON: " ^ e)
+  | Ok json -> (
+    let ( let* ) = Result.bind in
+    let str k obj =
+      match Json.member k obj with
+      | Some (Json.Str s) -> Ok s
+      | _ -> Error (Printf.sprintf "missing string field %S" k)
+    in
+    let int_ k obj =
+      match Json.member k obj with
+      | Some (Json.Int i) -> Ok i
+      | _ -> Error (Printf.sprintf "missing int field %S" k)
+    in
+    let num k obj =
+      match Json.member k obj with
+      | Some (Json.Float f) -> Ok f
+      | Some (Json.Int i) -> Ok (float_of_int i)
+      | _ -> Error (Printf.sprintf "missing numeric field %S" k)
+    in
+    let row obj =
+      let* sv_scope = str "scope" obj in
+      let* sv_tenants = int_ "tenants" obj in
+      let* sv_windows = int_ "windows" obj in
+      let* sv_ops = int_ "ops" obj in
+      let* sv_errors = int_ "errors" obj in
+      let* sv_breaches = int_ "breaches" obj in
+      let* sv_ops_per_sec = num "ops_per_sec" obj in
+      let* sv_latency_p50 = num "latency_p50" obj in
+      let* sv_latency_p99 = num "latency_p99" obj in
+      let* sv_latency_p999 = num "latency_p999" obj in
+      Ok
+        {
+          sv_scope; sv_tenants; sv_windows; sv_ops; sv_errors; sv_breaches;
+          sv_ops_per_sec; sv_latency_p50; sv_latency_p99; sv_latency_p999;
+        }
+    in
+    match Json.member "service" json with
+    | Some (Json.List l) ->
+      List.fold_left
+        (fun acc obj ->
+          let* acc = acc in
+          let* r = row obj in
+          Ok (r :: acc))
+        (Ok []) l
+      |> Result.map List.rev
+    | None -> Ok []
+    | Some _ -> Error "\"service\" is not a list")
 
 (* ------------------------------------------------------------------ *)
 (* Perf gate: compare two BENCH_giantsan.json documents                 *)

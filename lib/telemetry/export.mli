@@ -8,14 +8,18 @@ val ndjson_lines : (int * Event.t) list -> string list
 val trace_ndjson : unit -> string list
 (** [ndjson_lines] of the current global sink contents. *)
 
-val check_ndjson_line : string -> (unit, string) result
+val check_ndjson_line : ?lax:bool -> string -> (unit, string) result
 (** A valid trace line is one JSON object with an ["ev"] string field and
-    a non-negative ["seq"] int field. *)
+    a non-negative ["seq"] int field — and, unless [lax] (default
+    [false]), the ["ev"] value must be one of {!Event.all_names}: an
+    unknown kind fails with a named [unknown event kind] error instead of
+    being accepted silently. *)
 
-val check_ndjson : string -> (int, string) result
+val check_ndjson : ?lax:bool -> string -> (int, string) result
 (** Validate a whole NDJSON document (empty lines allowed); returns the
     number of event lines or the first error, prefixed with its line
-    number. *)
+    number. [lax] is the escape hatch for foreign dumps with event kinds
+    this build does not know (the CLI exposes it as [--lax]). *)
 
 (** {1 summary.json} *)
 
@@ -42,16 +46,38 @@ type bench_profile = {
   bp_slow_checks : int;
 }
 
+type service_row = {
+  sv_scope : string;  (** ["global"] or ["tenant-N"] *)
+  sv_tenants : int;
+  sv_windows : int;  (** closed rate windows the row aggregates *)
+  sv_ops : int;
+  sv_errors : int;  (** sanitizer reports produced while serving *)
+  sv_breaches : int;  (** SLO breach events *)
+  sv_ops_per_sec : float;  (** sustained throughput over the run *)
+  sv_latency_p50 : float;  (** ns, from the HDR latency histogram *)
+  sv_latency_p99 : float;
+  sv_latency_p999 : float;
+}
+(** One row of the [service] section: the sustained-traffic numbers the
+    ROADMAP's service mode is measured by. *)
+
 val bench_json :
   groups:(string * (string * float) list) list ->
   profiles:bench_profile list ->
+  ?service:service_row list ->
   ?spans:Span.t list ->
   unit ->
   string
 (** The BENCH_giantsan.json document: wall-clock ns/run per bechamel test
     (grouped), per-profile simulated cost with ns/op, shadow loads and
-    fast-path ratio, and optional spans. Schema documented in
-    EXPERIMENTS.md. *)
+    fast-path ratio, the optional [service] sustained-traffic rows
+    (latency percentiles + ops/sec), and optional spans. Schema documented
+    in EXPERIMENTS.md. *)
+
+val parse_bench_service : string -> (service_row list, string) result
+(** Parse the [service] section back out of a BENCH_giantsan.json document
+    ([Ok []] when the section is absent) — the export round-trip tests
+    hold [bench_json]/[parse_bench_service] to a lossless loop. *)
 
 (** {1 Performance regression gate}
 

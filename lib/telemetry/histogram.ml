@@ -57,6 +57,30 @@ let equal a b =
   a.h_name = b.h_name && a.h_buckets = b.h_buckets && a.h_count = b.h_count
   && a.h_sum = b.h_sum && a.h_max = b.h_max
 
+(* half-open value range of bucket [i]: [0,1) for the zero bucket,
+   [2^(i-1), 2^i) above it *)
+let bucket_hi i = if i <= 0 then 1 else 1 lsl i
+
+let quantile t q =
+  if t.h_count = 0 then 0.0
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let rank = q *. float_of_int (t.h_count - 1) in
+    (* the bucket holding order statistic floor(rank), by cumulative count *)
+    let rec find i cum =
+      let c = t.h_buckets.(i) in
+      if float_of_int (cum + c) > rank then (i, cum, c)
+      else find (i + 1) (cum + c)
+    in
+    let i, cum, c = find 0 0 in
+    let lo = bucket_lo i and hi = bucket_hi i in
+    let pos = (rank -. float_of_int cum) /. float_of_int c in
+    let v = float_of_int lo +. (pos *. float_of_int (hi - lo)) in
+    (* the log2 bucket only bounds the value; never report past the
+       observed maximum (makes [quantile t 1.0] exact) *)
+    Float.min v (float_of_int t.h_max)
+  end
+
 let bucket_label i = if i = 0 then "0" else Printf.sprintf "2^%d" (i - 1)
 
 let to_assoc t =

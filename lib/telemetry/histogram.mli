@@ -43,6 +43,18 @@ val merge : t -> t -> t
 
 val equal : t -> t -> bool
 
+val bucket_hi : int -> int
+(** Exclusive upper bound of the bucket's value range (1 for bucket 0,
+    [2^i] else) — [bucket_lo i, bucket_hi i) is the half-open range. *)
+
+val quantile : t -> float -> float
+(** [quantile t q] for [q] in [0, 1]: locate the bucket holding the order
+    statistic at fractional rank [q * (count - 1)] and interpolate
+    linearly within its [[bucket_lo, bucket_hi)] range, capped at
+    [max_value] (so [quantile t 1.0 = max_value]). 0.0 when empty. The
+    qcheck suite checks it against a sorted-array oracle: the readout
+    always lands in the same log2 bucket as the true order statistic. *)
+
 val to_assoc : t -> (string * int) list
 (** Only non-empty buckets, as [("2^k", count)] pairs with ["0"] for the
     zero bucket; stable order, suitable for golden assertions. *)

@@ -1,0 +1,68 @@
+type t = {
+  w_ns : int;
+  k : int;
+  ring : int array;  (* last [k] closed windows, ring.(closed mod k) next *)
+  mutable closed : int;
+  mutable cur : int;  (* observations in the open window *)
+  mutable cur_index : int;  (* open window's index = now_ns / w_ns *)
+  mutable total : int;
+}
+
+let create ~window_ns ~windows =
+  if window_ns < 1 then invalid_arg "Window.create: window_ns < 1";
+  if windows < 1 then invalid_arg "Window.create: windows < 1";
+  {
+    w_ns = window_ns;
+    k = windows;
+    ring = Array.make windows 0;
+    closed = 0;
+    cur = 0;
+    cur_index = 0;
+    total = 0;
+  }
+
+let window_ns t = t.w_ns
+
+let push_closed t n =
+  t.ring.(t.closed mod t.k) <- n;
+  t.closed <- t.closed + 1
+
+let roll t ~now_ns =
+  let idx = now_ns / t.w_ns in
+  let before = t.closed in
+  if idx > t.cur_index then begin
+    push_closed t t.cur;
+    t.cur <- 0;
+    (* any fully skipped windows closed with zero ops; cap the zero-fill at
+       the ring size — older zeros would be overwritten anyway *)
+    let skipped = idx - t.cur_index - 1 in
+    for _ = 1 to min skipped t.k do
+      push_closed t 0
+    done;
+    if skipped > t.k then t.closed <- t.closed + (skipped - t.k);
+    t.cur_index <- idx
+  end;
+  t.closed - before
+
+let record t ~now_ns n =
+  ignore (roll t ~now_ns);
+  t.cur <- t.cur + n;
+  t.total <- t.total + n
+
+let closed t = t.closed
+
+let last_window_ops t =
+  if t.closed = 0 then 0 else t.ring.((t.closed - 1) mod t.k)
+
+let rate t =
+  let n = min t.closed t.k in
+  if n = 0 then 0.0
+  else begin
+    let sum = ref 0 in
+    for i = t.closed - n to t.closed - 1 do
+      sum := !sum + t.ring.(i mod t.k)
+    done;
+    float_of_int !sum /. (float_of_int (n * t.w_ns) /. 1e9)
+  end
+
+let total t = t.total

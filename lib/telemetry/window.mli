@@ -1,0 +1,38 @@
+(** Sliding-window rate counters: ops/sec over the last [k] closed
+    windows, driven entirely by an external clock value (see {!Clock}) so
+    the readouts are deterministic under the virtual clock.
+
+    Time is divided into fixed windows of [window_ns]. Observations
+    accumulate into the current window; when the clock crosses a window
+    boundary the accumulated count is pushed into a ring of the last [k]
+    closed windows (empty windows in between are pushed as zeros, so a
+    stall shows up as a rate collapse rather than being skipped). *)
+
+type t
+
+val create : window_ns:int -> windows:int -> t
+(** [windows >= 1] closed windows are retained; [window_ns >= 1]. *)
+
+val window_ns : t -> int
+
+val record : t -> now_ns:int -> int -> unit
+(** [record t ~now_ns n] first rolls any windows the clock has crossed,
+    then adds [n] observations to the current window. [now_ns] must be
+    monotone non-decreasing across calls. *)
+
+val roll : t -> now_ns:int -> int
+(** Close any windows the clock has passed without recording anything;
+    returns how many windows were closed by this call. *)
+
+val closed : t -> int
+(** Total windows closed so far (monotonic). *)
+
+val last_window_ops : t -> int
+(** Observations in the most recently closed window (0 before any). *)
+
+val rate : t -> float
+(** Ops/sec averaged over the retained closed windows — at most [k], fewer
+    while warming up; 0.0 before the first window closes. *)
+
+val total : t -> int
+(** All observations ever recorded, including the open window. *)

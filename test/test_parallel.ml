@@ -249,6 +249,37 @@ let test_concurrent_sweeps () =
         true (got = expected))
     both
 
+(* The service loop calls Pool.run once per tick, thousands of times per
+   process: the pool must behave identically on the 1st and the 500th
+   cycle — results in order, failures still deterministic, and no state
+   (poison flag, DLS trace sinks) leaking from one cycle into the next. *)
+let test_pool_long_lived_reuse () =
+  let cycles = 500 in
+  for cycle = 0 to cycles - 1 do
+    let jobs = 1 + (cycle mod 4) in
+    let n = 1 + (cycle mod 7) in
+    let got = Pool.run ~jobs (Array.init n (fun i () -> (cycle * 31) + i)) in
+    Alcotest.(check (array int))
+      (Printf.sprintf "cycle %d results" cycle)
+      (Array.init n (fun i -> (cycle * 31) + i))
+      got;
+    (* every 16th cycle poisons the pool; the next cycle must be clean *)
+    if cycle mod 16 = 0 then
+      match
+        Pool.run ~jobs
+          (Array.init 8 (fun i () -> if i >= 2 then raise (Boom i) else i))
+      with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom i ->
+        Alcotest.(check int)
+          (Printf.sprintf "cycle %d lowest failure" cycle)
+          2 i
+  done;
+  (* the global trace sink must not have accumulated anything: worker
+     domains get private DLS sinks and the pool installs no global one *)
+  Alcotest.(check int) "no trace events leaked" 0
+    (List.length (Trace.events ()))
+
 let suite =
   ( "parallel",
     [
@@ -257,6 +288,8 @@ let suite =
       Alcotest.test_case "pool: deterministic exception" `Quick test_pool_exn;
       Alcotest.test_case "pool: poison stops claiming" `Quick
         test_pool_poison_stops_claims;
+      Alcotest.test_case "pool: long-lived reuse stays clean" `Quick
+        test_pool_long_lived_reuse;
       Alcotest.test_case "shard: private traces" `Quick test_shard_isolation;
       Alcotest.test_case "merge: resequence" `Quick test_merge_resequence;
       QCheck_alcotest.to_alcotest prop_sweep_deterministic;

@@ -333,6 +333,238 @@ let test_gate_rejects_missing_rows =
       | Ok _ -> Alcotest.fail "new unbaselined row passed the gate"
       | Error _ -> ())
 
+(* ------------------------------------------------------------------ *)
+(* Quantile readouts vs the sorted-array oracle                        *)
+(* ------------------------------------------------------------------ *)
+
+module Latency = Giantsan_telemetry.Latency
+module Clock = Giantsan_telemetry.Clock
+module Window = Giantsan_telemetry.Window
+module Event = Giantsan_telemetry.Event
+
+(* numpy-linear order statistic at fractional rank q*(n-1) *)
+let oracle_quantile sorted q =
+  let n = Array.length sorted in
+  let rank = q *. float_of_int (n - 1) in
+  let lo = sorted.(int_of_float (Float.of_int (truncate rank) *. 1.0)) in
+  let hi = sorted.(min (n - 1) (truncate rank + 1)) in
+  let frac = rank -. Float.of_int (truncate rank) in
+  (float_of_int lo +. (frac *. float_of_int (hi - lo)), lo, hi)
+
+let obs_q_arb =
+  QCheck.(
+    pair
+      (list_of_size Gen.(1 -- 80) (int_bound 5000))
+      (make ~print:string_of_float Gen.(float_bound_inclusive 1.0)))
+
+let prop_hist_quantile_vs_oracle =
+  QCheck.Test.make ~count:500 ~name:"Histogram.quantile tracks the oracle"
+    obs_q_arb (fun (obs, q) ->
+      let h = Histogram.create "h" in
+      List.iter (Histogram.observe h) obs;
+      let sorted = Array.of_list (List.sort compare obs) in
+      let oracle, olo, ohi = oracle_quantile sorted q in
+      let got = Histogram.quantile h q in
+      (* the histogram only knows log2 buckets: the readout must land in
+         the value range spanned by the two order statistics' buckets,
+         and hit the oracle exactly at the extremes *)
+      let lo_bound = float_of_int (Histogram.bucket_lo (Histogram.bucket_of_value olo)) in
+      let hi_bound =
+        Float.min
+          (float_of_int (Histogram.bucket_hi (Histogram.bucket_of_value ohi)))
+          (float_of_int (Histogram.max_value h))
+      in
+      if q = 0.0 || q = 1.0 then got = oracle
+      else got >= lo_bound && got <= hi_bound)
+
+let prop_latency_quantile_vs_oracle =
+  QCheck.Test.make ~count:500 ~name:"Latency.quantile tracks the oracle"
+    obs_q_arb (fun (obs, q) ->
+      let h = Latency.create "l" in
+      List.iter (Latency.observe h) obs;
+      let sorted = Array.of_list (List.sort compare obs) in
+      let oracle, olo, ohi = oracle_quantile sorted q in
+      let got = Latency.quantile h q in
+      let lo_bound = fst (Latency.bucket_bounds (Latency.bucket_of_value olo)) in
+      let hi_bound =
+        min
+          (snd (Latency.bucket_bounds (Latency.bucket_of_value ohi)))
+          (Latency.max_value h)
+      in
+      if q = 0.0 || q = 1.0 then got = oracle
+      else got >= float_of_int lo_bound && got <= float_of_int hi_bound)
+
+let test_latency_small_values_exact =
+  Helpers.qt "Latency: values below 64 are recorded exactly" `Quick (fun () ->
+      let h = Latency.create "l" in
+      List.iter (Latency.observe h) [ 3; 17; 42; 63 ];
+      (* at whole ranks (q = i/(n-1)) the readout is the order statistic
+         itself: sub-64 values live in unit-width buckets *)
+      List.iteri
+        (fun i (q, want) ->
+          Alcotest.(check (float 1e-9))
+            (Printf.sprintf "q%d" i)
+            want (Latency.quantile h q))
+        [
+          (0.0, 3.0);
+          (1.0 /. 3.0, 17.0);
+          (2.0 /. 3.0, 42.0);
+          (1.0, 63.0);
+          (* a fractional rank interpolates within the unit bucket of the
+             floor-rank order statistic *)
+          (0.5, 17.5);
+        ])
+
+let latency_of_list obs =
+  let h = Latency.create "l" in
+  List.iter (Latency.observe h) obs;
+  h
+
+let obs_arb = QCheck.(list_of_size Gen.(0 -- 60) (int_bound 100_000))
+
+let prop_latency_merge_laws =
+  QCheck.Test.make ~count:300 ~name:"Latency.merge monoid laws"
+    QCheck.(pair obs_arb obs_arb)
+    (fun (xs, ys) ->
+      let a = latency_of_list xs and b = latency_of_list ys in
+      let ab = Latency.merge a b and ba = Latency.merge b a in
+      let zero = Latency.create "l" in
+      Latency.equal ab ba
+      && Latency.equal (Latency.merge a zero) a
+      && Latency.count ab = Latency.count a + Latency.count b
+      && Latency.equal ab (latency_of_list (xs @ ys)))
+
+let test_latency_merge_name_mismatch =
+  Helpers.qt "Latency.merge rejects name mismatch, merge_as waives it" `Quick
+    (fun () ->
+      let a = Latency.create "a" and b = Latency.create "b" in
+      Alcotest.check_raises "mismatch raises"
+        (Invalid_argument "Latency.merge: a vs b") (fun () ->
+          ignore (Latency.merge a b));
+      Latency.observe a 5;
+      Latency.observe b 9;
+      let g = Latency.merge_as "global" a b in
+      Alcotest.(check string) "renamed" "global" (Latency.name g);
+      Alcotest.(check int) "merged count" 2 (Latency.count g))
+
+let prop_latency_quantiles_ordered =
+  QCheck.Test.make ~count:300 ~name:"Latency: p50 <= p99 <= p999 <= max"
+    obs_arb (fun obs ->
+      let h = latency_of_list obs in
+      Latency.p50 h <= Latency.p99 h
+      && Latency.p99 h <= Latency.p999 h
+      && Latency.p999 h <= float_of_int (Latency.max_value h))
+
+(* ------------------------------------------------------------------ *)
+(* Clock + sliding windows                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_virtual_clock =
+  Helpers.qt "virtual clock advances only when told" `Quick (fun () ->
+      let c = Clock.virtual_ ~start_ns:100 () in
+      Alcotest.(check bool) "is virtual" true (Clock.is_virtual c);
+      Alcotest.(check int) "start" 100 (Clock.now_ns c);
+      Clock.advance c 50;
+      Clock.advance c 0;
+      Clock.advance c (-10);
+      Alcotest.(check int) "monotone advance" 150 (Clock.now_ns c);
+      let m = Clock.monotonic () in
+      Alcotest.(check bool) "monotonic is not virtual" false (Clock.is_virtual m);
+      Clock.advance m 1_000_000;
+      ())
+
+let test_window_rates =
+  Helpers.qt "sliding window closes, zero-fills and rates" `Quick (fun () ->
+      let w = Window.create ~window_ns:100 ~windows:4 in
+      Alcotest.(check (float 0.0)) "empty rate" 0.0 (Window.rate w);
+      Window.record w ~now_ns:10 5;
+      Window.record w ~now_ns:90 5;
+      Alcotest.(check int) "nothing closed yet" 0 (Window.closed w);
+      (* crossing into window 1 closes window 0 with 10 ops *)
+      Window.record w ~now_ns:110 2;
+      Alcotest.(check int) "one closed" 1 (Window.closed w);
+      Alcotest.(check int) "last window ops" 10 (Window.last_window_ops w);
+      Alcotest.(check (float 1e-6)) "rate 10 ops / 100 ns"
+        (10.0 /. (100.0 /. 1e9))
+        (Window.rate w);
+      (* jumping to window 5 closes 1..4; 2..4 are zero-filled stalls *)
+      ignore (Window.roll w ~now_ns:510);
+      Alcotest.(check int) "five closed" 5 (Window.closed w);
+      Alcotest.(check int) "stall window" 0 (Window.last_window_ops w);
+      Alcotest.(check (float 1e-6)) "stall collapses the rate"
+        (2.0 /. (400.0 /. 1e9))
+        (Window.rate w);
+      Alcotest.(check int) "total includes open window" 12 (Window.total w))
+
+(* ------------------------------------------------------------------ *)
+(* Strict NDJSON checking (known-kind whitelist + --lax)               *)
+(* ------------------------------------------------------------------ *)
+
+(* One event per constructor: any rename or field change must be a
+   conscious decision (this pin + the checker whitelist both move). *)
+let one_of_each =
+  [
+    Event.Malloc { tool = "t"; base = 64; size = 32; kind = "heap" };
+    Event.Free { tool = "t"; addr = 64 };
+    Event.Access { tool = "t"; addr = 72; width = 8; path = Event.Fast };
+    Event.Shadow_load { tool = "t"; count = 2 };
+    Event.Cache_hit { tool = "t"; off = 8 };
+    Event.Cache_update { tool = "t"; ub = 96 };
+    Event.Region_check { tool = "t"; lo = 64; hi = 96; path = Event.Slow; loads = 3 };
+    Event.Report { tool = "t"; kind = "heap-buffer-overflow"; addr = 96 };
+    Event.Phase_begin { name = "p" };
+    Event.Phase_end { name = "p" };
+    Event.Service_op
+      { tenant = 1; op = "access"; slot = 3; arg = 8; width = 4;
+        latency_ns = 41; t_ns = 1000 };
+    Event.Service_report
+      { tenant = 1; kind = "heap-use-after-free"; addr = 128; t_ns = 1001 };
+    Event.Slo_breach
+      { tenant = 1; slo = "p999"; value = 9000.0; limit = 5000.0; t_ns = 1002 };
+    Event.Tenant_state { tenant = 1; state = "degraded"; t_ns = 1003 };
+    Event.Tenant_fault { tenant = 1; detail = "seg 8: drift"; t_ns = 1004 };
+  ]
+
+let test_every_event_kind_passes_strict =
+  Helpers.qt "one event per constructor passes the strict checker" `Quick
+    (fun () ->
+      let lines =
+        Export.ndjson_lines (List.mapi (fun i e -> (i, e)) one_of_each)
+      in
+      Alcotest.(check int) "covers the whole whitelist"
+        (List.length Event.all_names)
+        (List.length one_of_each);
+      List.iter
+        (fun name ->
+          Alcotest.(check bool)
+            (Printf.sprintf "kind %s rendered" name)
+            true
+            (List.exists
+               (fun l ->
+                 Helpers.contains l (Printf.sprintf "\"ev\":%S" name))
+               lines))
+        Event.all_names;
+      match Export.check_ndjson (String.concat "\n" lines) with
+      | Ok n -> Alcotest.(check int) "all accepted" (List.length lines) n
+      | Error e -> Alcotest.fail e)
+
+let test_unknown_kind_rejected =
+  Helpers.qt "unknown event kinds: named error strictly, accepted lax" `Quick
+    (fun () ->
+      let bogus = {|{"seq":0,"ev":"wormhole","tenant":3}|} in
+      (match Export.check_ndjson bogus with
+      | Ok _ -> Alcotest.fail "strict checker accepted an unknown kind"
+      | Error e ->
+        Alcotest.(check bool) "names the kind" true
+          (Helpers.contains e "unknown event kind" && Helpers.contains e "wormhole"));
+      (match Export.check_ndjson ~lax:true bogus with
+      | Ok n -> Alcotest.(check int) "lax accepts" 1 n
+      | Error e -> Alcotest.fail e);
+      (* lax still demands well-formed lines *)
+      match Export.check_ndjson ~lax:true {|{"seq":-1,"ev":"wormhole"}|} with
+      | Ok _ -> Alcotest.fail "lax accepted a negative seq"
+      | Error _ -> ())
+
 let suite =
   ( "telemetry",
     [
@@ -359,4 +591,14 @@ let suite =
       test_gate_rejects_large_improvement;
       test_gate_rejects_count_mismatch;
       test_gate_rejects_missing_rows;
+      QCheck_alcotest.to_alcotest prop_hist_quantile_vs_oracle;
+      QCheck_alcotest.to_alcotest prop_latency_quantile_vs_oracle;
+      test_latency_small_values_exact;
+      QCheck_alcotest.to_alcotest prop_latency_merge_laws;
+      test_latency_merge_name_mismatch;
+      QCheck_alcotest.to_alcotest prop_latency_quantiles_ordered;
+      test_virtual_clock;
+      test_window_rates;
+      test_every_event_kind_passes_strict;
+      test_unknown_kind_rejected;
     ] )
