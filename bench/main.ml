@@ -363,8 +363,68 @@ let profile_stats () =
             bp_region_checks = c.Counters.region_checks;
             bp_fast_checks = c.Counters.fast_checks;
             bp_slow_checks = c.Counters.slow_checks;
+            bp_word_checks = c.Counters.word_checks;
           })
     (Array.to_list outcome.Giantsan_parallel.Sweep.o_results)
+
+(* Deterministic Figure 11 rows: the three traversal kernels per tool at
+   16 KiB, reported as cost-model profiles. Unlike the wall-clock [fig11]
+   bechamel group these are exact event counts, so the perf gate pins them
+   against the committed baseline, and the CI fig11 leg can assert the
+   reverse row's word-path ratio and the GiantSan-vs-ASan ordering. *)
+let fig11_stats () =
+  let module Cost_model = Giantsan_workload.Cost_model in
+  let size = 16384 in
+  let kernels =
+    [
+      ( "fig11.forward-16KiB",
+        fun san ~base -> Traversal.forward san ~base ~size );
+      ( "fig11.random-16KiB",
+        fun san ~base -> Traversal.random san ~seed:11 ~base ~size );
+      ( "fig11.reverse-16KiB",
+        fun san ~base -> Traversal.reverse san ~base ~size );
+    ]
+  in
+  let tools =
+    [
+      ("native", (fun () -> Giantsan_sanitizer.Native.create config), false);
+      ("giantsan", (fun () -> Giantsan_core.Gs_runtime.create config), true);
+      ("asan", (fun () -> Giantsan_asan.Asan_runtime.create config), true);
+    ]
+  in
+  List.concat_map
+    (fun (pname, kernel) ->
+      List.map
+        (fun (tname, make, sanitized) ->
+          let san = make () in
+          let base = Traversal.prepare san ~size in
+          ignore (kernel san ~base);
+          let c = san.San.counters in
+          let sim_ns =
+            Cost_model.simulated_ns
+              {
+                Cost_model.ops = size / 8;
+                shadow_loads = san.San.shadow_loads ();
+                counters = c;
+                is_sanitized = sanitized;
+                is_lfp = false;
+                stack_fraction = 0.0;
+              }
+          in
+          {
+            Telemetry.Export.bp_profile = pname;
+            bp_config = tname;
+            bp_sim_ns = sim_ns;
+            bp_ops = size / 8;
+            bp_shadow_loads = san.San.shadow_loads ();
+            bp_shadow_stores = san.San.shadow_stores ();
+            bp_region_checks = c.Counters.region_checks;
+            bp_fast_checks = c.Counters.fast_checks;
+            bp_slow_checks = c.Counters.slow_checks;
+            bp_word_checks = c.Counters.word_checks;
+          })
+        tools)
+    kernels
 
 (* Sustained-traffic numbers from the multi-tenant service loop under the
    virtual clock: fully deterministic (latencies are synthesized from the
@@ -397,6 +457,7 @@ let () =
   | Some path ->
     let profiles =
       Telemetry.Span.with_span "bench:profile-sweep" profile_stats
+      @ Telemetry.Span.with_span "bench:fig11-sweep" fig11_stats
     in
     let service = Telemetry.Span.with_span "bench:service" service_stats in
     let body =

@@ -197,6 +197,13 @@ dune exec bench/main.exe -- --profiles-only --telemetry "$tmpdir/bench.json" \
   > /dev/null
 dune exec bin/main.exe -- bench-compare BENCH_giantsan.json "$tmpdir/bench.json"
 
+echo "== fig11 word-path gate =="
+# The deterministic reverse-traversal row: most region checks must settle
+# on the single-load word kernel, and GiantSan's reverse ns/op must not
+# fall behind ASan's again (the §5.4 one-sided-summary regression the MRU
+# window history fixed).
+dune exec bin/main.exe -- fig11-gate "$tmpdir/bench.json"
+
 echo "== perf gate under sharding (--jobs 2) =="
 # sim_ns is derived from deterministic event counts, never wall-clock, so
 # the same baseline must hold bit-for-bit when the sweep runs sharded.

@@ -376,6 +376,102 @@ let bench_compare_cmd =
               1))
       $ baseline $ current $ tolerance)
 
+let fig11_gate_cmd =
+  let doc =
+    "Gate the Figure 11 deterministic rows of a bench JSON: the GiantSan \
+     reverse-traversal row must settle at least $(b,--min-word-ratio) of \
+     its region checks on the word path, and its ns/op must not exceed \
+     ASan's on the same kernel (the historical reverse-traversal \
+     regression). Exits 1 with named violations otherwise."
+  in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Bench JSON with fig11.* profile rows.")
+  in
+  let min_ratio =
+    Arg.(
+      value & opt float 0.5
+      & info [ "min-word-ratio" ] ~docv:"FRAC"
+          ~doc:"Minimum word_checks / region_checks on the reverse row.")
+  in
+  Cmd.v
+    (Cmd.info "fig11-gate" ~doc)
+    Term.(
+      const (fun file min_ratio ->
+          match In_channel.with_open_text file In_channel.input_all with
+          | exception Sys_error e ->
+            Printf.eprintf "fig11-gate: %s\n" e;
+            2
+          | text -> (
+            match Giantsan_telemetry.Export.parse_bench_profiles text with
+            | Error e ->
+              Printf.eprintf "fig11-gate: %s: %s\n" file e;
+              2
+            | Ok rows -> (
+              let module E = Giantsan_telemetry.Export in
+              let find config =
+                List.find_opt
+                  (fun g ->
+                    g.E.g_profile = "fig11.reverse-16KiB"
+                    && g.E.g_config = config)
+                  rows
+              in
+              match (find "giantsan", find "asan") with
+              | None, _ | _, None ->
+                Printf.eprintf
+                  "fig11-gate: %s has no fig11.reverse-16KiB rows for both \
+                   giantsan and asan\n"
+                  file;
+                2
+              | Some gs, Some asan ->
+                let count k g =
+                  match List.assoc_opt k g.E.g_counts with
+                  | Some v -> v
+                  | None -> 0
+                in
+                let checks = count "region_checks" gs in
+                let ratio =
+                  if checks = 0 then 0.0
+                  else
+                    float_of_int (count "word_checks" gs)
+                    /. float_of_int checks
+                in
+                let failures =
+                  (if ratio < min_ratio then
+                     [
+                       Printf.sprintf
+                         "reverse word-path ratio %.3f below the %.3f floor \
+                          (%d of %d checks)"
+                         ratio min_ratio (count "word_checks" gs) checks;
+                     ]
+                   else [])
+                  @
+                  if gs.E.g_ns_per_op > asan.E.g_ns_per_op then
+                    [
+                      Printf.sprintf
+                        "GiantSan reverse %.2f ns/op is slower than ASan's \
+                         %.2f — the fig11 regression is back"
+                        gs.E.g_ns_per_op asan.E.g_ns_per_op;
+                    ]
+                  else []
+                in
+                if failures = [] then begin
+                  Printf.printf
+                    "fig11 gate OK: reverse word-path ratio %.3f (>= %.3f), \
+                     GiantSan %.2f ns/op vs ASan %.2f\n"
+                    ratio min_ratio gs.E.g_ns_per_op asan.E.g_ns_per_op;
+                  0
+                end
+                else begin
+                  Printf.eprintf "fig11 gate FAILED (%d violation(s)):\n"
+                    (List.length failures);
+                  List.iter (Printf.eprintf "  %s\n") failures;
+                  1
+                end)))
+      $ file $ min_ratio)
+
 let sweep_cmd =
   let module Sweep = Giantsan_parallel.Sweep in
   let module Merge = Giantsan_parallel.Merge in
@@ -895,7 +991,8 @@ let () =
   in
   let cmds =
     all_cmd :: extras_cmd :: fuzz_cmd :: fuzz_matrix_cmd :: replay_cmd
-    :: trace_cmd :: check_ndjson_cmd :: bench_compare_cmd :: sweep_cmd
+    :: trace_cmd :: check_ndjson_cmd :: bench_compare_cmd :: fig11_gate_cmd
+    :: sweep_cmd
     :: chaos_cmd :: spec_cmd :: serve_cmd :: validate_cmd
     :: List.map
          (fun id -> experiment_cmd id id)

@@ -123,7 +123,7 @@ let create_exposed_named name config =
     free;
     access;
     check_region;
-    new_cache = (fun ~base -> { San.cache_base = base; cache_ub = 0 });
+    new_cache = (fun ~base -> San.new_cache ~base);
     cached_access =
       (fun cache ~off ~width ->
         (* No history caching in ASan: every iteration pays a fresh

@@ -52,13 +52,22 @@ let classify ~expected ~actual =
 let run ~heap ~shadow =
   let n = Shadow_mem.segments shadow in
   let out = ref [] in
-  for seg = n - 1 downto 0 do
-    let expected = expected_code heap seg in
-    (* peek, not load: the self-check is an out-of-band audit and must not
-       perturb the event-count-derived cost model *)
-    let actual = Shadow_mem.peek shadow seg in
-    if actual <> expected then
-      out := { seg; expected; actual; cls = classify ~expected ~actual } :: !out
+  (* word-wide walk, high to low so the mismatch list comes out ascending.
+     peek_word, not load_word: the self-check is an out-of-band audit and
+     must not perturb the event-count-derived cost model. *)
+  let word_lo = ref (((n - 1) / 8) * 8) in
+  while !word_lo >= 0 do
+    let w = Shadow_mem.peek_word shadow !word_lo in
+    let lanes = min 8 (n - !word_lo) in
+    for k = lanes - 1 downto 0 do
+      let seg = !word_lo + k in
+      let expected = expected_code heap seg in
+      let actual = Shadow_mem.word_byte w k in
+      if actual <> expected then
+        out :=
+          { seg; expected; actual; cls = classify ~expected ~actual } :: !out
+    done;
+    word_lo := !word_lo - 8
   done;
   !out
 

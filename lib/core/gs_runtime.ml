@@ -30,6 +30,9 @@ let create_exposed_variant ~name ~use_cache ~check_underflow config =
     match outcome with
     | Region_check.Safe_fast ->
       counters.Counters.fast_checks <- counters.Counters.fast_checks + 1
+    | Region_check.Safe_word ->
+      counters.Counters.fast_checks <- counters.Counters.fast_checks + 1;
+      counters.Counters.word_checks <- counters.Counters.word_checks + 1
     | Region_check.Safe_slow | Region_check.Bad _ ->
       counters.Counters.slow_checks <- counters.Counters.slow_checks + 1
   in
@@ -41,12 +44,17 @@ let create_exposed_variant ~name ~use_cache ~check_underflow config =
       let loads = Shadow_mem.loads m - loads_before in
       Histogram.observe hists.Histogram.h_loads_per_check loads;
       Trace.emit_region_check ~tool:name ~lo:l ~hi:r
-        ~fast:(outcome = Region_check.Safe_fast)
+        ~fast:
+          (match outcome with
+          | Region_check.Safe_fast | Region_check.Safe_word -> true
+          | Region_check.Safe_slow | Region_check.Bad _ -> false)
         ~loads;
       if loads > 0 then Trace.emit_shadow_load ~tool:name ~count:loads
     end;
     match outcome with
-    | Region_check.Safe_fast | Region_check.Safe_slow -> None
+    | Region_check.Safe_fast | Region_check.Safe_slow | Region_check.Safe_word
+      ->
+      None
     | Region_check.Bad addr -> report ?base:anchor ~addr ~size ()
   in
   let malloc ?kind size =
@@ -143,7 +151,7 @@ let create_exposed_variant ~name ~use_cache ~check_underflow config =
             Trace.emit_cache_hit ~tool:name ~off;
             None
           | Quasi_bound.Ok_checked ->
-            Trace.emit_cache_update ~tool:name ~ub:cache.San.cache_ub;
+            Trace.emit_cache_update ~tool:name ~ub:(San.cache_ub cache);
             None
           | Quasi_bound.Bad addr ->
             report ~base:cache.San.cache_base ~addr ~size:width ())
@@ -168,7 +176,7 @@ let create_exposed_variant ~name ~use_cache ~check_underflow config =
       free;
       access;
       check_region;
-      new_cache = (fun ~base -> { San.cache_base = base; cache_ub = 0 });
+      new_cache = (fun ~base -> San.new_cache ~base);
       cached_access;
       flush_cache;
       supports_operation_level = true;

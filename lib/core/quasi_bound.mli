@@ -1,19 +1,25 @@
-(** History caching with quasi-bounds (§4.3, Figure 9).
+(** History caching with quasi-bounds (§4.3, Figure 9), over the MRU
+    window history of {!Giantsan_sanitizer.Sanitizer.cache}.
 
-    A cache holds, per base pointer, how many bytes from the base have
-    already been proven addressable (the {e quasi-bound}). Accesses inside
-    the quasi-bound need no metadata at all; an access beyond it pays one
-    region check plus one shadow load to enlarge the bound from the folded
-    segment at the access position. The bound reaches the object's true
-    bound after at most [ceil (log2 (n/8))] updates.
+    A cache holds, per base pointer, spans of addresses already proven
+    addressable. Accesses inside a cached window need no metadata at all;
+    an overflow-side access beyond every window pays one region check plus
+    one shadow load to enlarge the bound from the folded segment at the
+    access position. The bound reaches the object's true bound after at
+    most [ceil (log2 (n/8))] updates.
 
-    Negative offsets get a dedicated underflow region check each time — the
-    summary is single-sided, so there is no quasi-{e lower}-bound (the §5.4
-    limitation, visible in the Figure 11 reverse-traversal experiment).
-    When such an access also spills past the base ([off < 0] and
-    [off + width > 0]), its non-negative tail is an ordinary overflow-side
-    region and the quasi-bound does apply to it: a tail inside [cache_ub]
-    skips the second region check and counts one cache hit.
+    Negative offsets are cached too — the fix for the §5.4 limitation
+    (visible in the Figure 11 reverse-traversal experiment), where the
+    single-sided summary issued a dedicated underflow region check on
+    every descending access. A low-side miss still pays the dedicated
+    CI(y + off, y) once, then extends the proven window down to the
+    fold-derived run floor ([Folding.lower_bound], O(log) loads); from the
+    second access on, a descending or strided stream hits cache. When an
+    access also spills past the base ([off < 0] and [off + width > 0]),
+    its non-negative tail is an ordinary overflow-side region: a cached
+    tail counts one hit, and a checked tail refreshes the bound exactly
+    like the positive path (tails used to be checked and forgotten, so
+    straddling writes re-verified the same region forever).
 
     Deviation from the paper, documented in DESIGN.md: Figure 9 line 7 sets
     [ub = off + covered(v)] even when [base + off] sits mid-segment, which
@@ -22,10 +28,10 @@
     the sound reading. *)
 
 type result = Ok_cached | Ok_checked | Bad of int
-(** [Ok_cached]: inside the quasi-bound, zero metadata loads.
-    [Ok_checked]: safe, but paid a region check (and enlarged the bound
-    when the access was on the overflow side). [Bad addr]: the region
-    check failed at [addr]. *)
+(** [Ok_cached]: every side of the access was inside a cached window, zero
+    metadata loads. [Ok_checked]: safe, but paid at least one region check
+    (enlarging the window history). [Bad addr]: a region check failed at
+    [addr]. *)
 
 val access :
   Giantsan_shadow.Shadow_mem.t ->
@@ -43,5 +49,6 @@ val flush :
   Giantsan_sanitizer.Counters.t ->
   Giantsan_sanitizer.Sanitizer.cache ->
   int option
-(** Figure 9 line 14: after the loop, re-verify [\[base, base + ub)] to
-    catch an object freed mid-loop. Returns a bad address if so. *)
+(** Figure 9 line 14: after the loop, re-verify every window the history
+    ever vouched for (upper and lower side) to catch an object freed
+    mid-loop. Returns a bad address if so. *)

@@ -1,15 +1,19 @@
 module Shadow_mem = Giantsan_shadow.Shadow_mem
 
-type outcome = Safe_fast | Safe_slow | Bad of int
+type outcome = Safe_fast | Safe_slow | Safe_word | Bad of int
 
-let is_safe = function Safe_fast | Safe_slow -> true | Bad _ -> false
+let is_safe = function Safe_fast | Safe_slow | Safe_word -> true | Bad _ -> false
 
 (* A literal transcription of Algorithm 1. [l] plays L, [r] plays R.
    Soundness rests on two invariants of the poisoning pass:
    - a folded code is a truthful claim that 2^i whole segments are good;
    - within one object, state codes never decrease along the object
-     (monotone degrees), so the suffix test can use [<>] instead of [>]. *)
-let check m ~l ~r =
+     (monotone degrees), so the suffix test can use [<>] instead of [>].
+
+   Kept as a selectable scalar path (and as the word kernel's ground truth
+   in the equivalence qchecks): the word path below must agree with it
+   byte-for-byte on ANY shadow contents, canonical or corrupted. *)
+let check_scalar m ~l ~r =
   assert (l land 7 = 0);
   if r <= l then Safe_fast
   else begin
@@ -38,6 +42,52 @@ let check m ~l ~r =
     end
   end
 
+(* Word fast path, for regions spanning at most 8 segments (r - l <= 64,
+   the overwhelmingly common case: every instruction-level access and most
+   operation-level checks). One 64-bit shadow load fetches all the segments
+   Algorithm 1 could ever probe for such a region; the three probe lanes
+   (fold at l, same-degree suffix fold, final partial segment) are then
+   served from the broadcast word instead of issuing separate loads.
+
+   Exactness, not just soundness: each probe reads the identical shadow
+   byte the scalar kernel would load, so verdict AND blamed address match
+   [check_scalar] on arbitrary shadow contents — including corrupted or
+   misfolded states, which is what lets the refinement harness audit the
+   two paths in lockstep and a planted fault diverge identically in both.
+   (A tempting cheaper settle — "all 8 lanes folded => safe" — is NOT
+   equivalent: three degree-0 folds over a 24-byte region fail the scalar
+   prefix test, so the word path would mask exactly the corruptions the
+   mutation tests plant.) *)
+let check_word m ~l ~r =
+  (* precondition: l aligned, l < r, r - l <= 64 *)
+  let l_seg = l / 8 in
+  let w = Shadow_mem.load_word m l_seg in
+  let v = Shadow_mem.word_byte w 0 in
+  let u = State_code.covered_bytes v in
+  if u >= r - l then Safe_word
+  else begin
+    let bad = ref None in
+    if r - l >= 8 then begin
+      if 2 * u < r - l then bad := Some (l + u)
+        (* the suffix lane index is in [0, 7]: this branch needs [v] folded
+           (else u = 0 fails the prefix test), so u >= 8 and
+           l < r - u <= r - 8 *)
+      else if Shadow_mem.word_byte w ((r - u) / 8 - l_seg) <> v then
+        bad := Some (min (r - 1) (((r - u) / 8 * 8) + 7))
+    end;
+    (if !bad = None then
+       let last = Shadow_mem.word_byte w ((r - 1) / 8 - l_seg) in
+       if last > 72 - (r land 7) then
+         bad := Some (((r - 1) / 8 * 8) + State_code.addressable_in_segment last));
+    match !bad with None -> Safe_word | Some addr -> Bad addr
+  end
+
+let check m ~l ~r =
+  assert (l land 7 = 0);
+  if r <= l then Safe_fast
+  else if r - l <= 64 then check_word m ~l ~r
+  else check_scalar m ~l ~r
+
 (* An empty region is vacuously safe BEFORE aligning: aligning first would
    turn [l, l) into a real check of the bytes below [l] — bytes the
    operation never touches — and report a zero-length memset/region check
@@ -45,3 +95,6 @@ let check m ~l ~r =
    (model: an empty window is addressable). *)
 let check_unaligned m ~l ~r =
   if r <= l then Safe_fast else check m ~l:(l land lnot 7) ~r
+
+let check_unaligned_scalar m ~l ~r =
+  if r <= l then Safe_fast else check_scalar m ~l:(l land lnot 7) ~r

@@ -28,11 +28,19 @@ let class_name = function
 let run_summary m ~lo ~hi =
   let lo_seg = lo / 8 and hi_seg = (hi + 7) / 8 in
   let runs = ref [] in
-  for s = lo_seg to hi_seg - 1 do
-    let c = class_of (Shadow_mem.peek m s) in
-    match !runs with
-    | (c', n) :: rest when c' = c -> runs := (c', n + 1) :: rest
-    | _ -> runs := (c, 1) :: !runs
+  (* word-wide scan: fetch 8 codes per (uncounted) word, walking lanes —
+     same classing and output as the old per-byte walk, 8x fewer fetches *)
+  let s = ref lo_seg in
+  while !s < hi_seg do
+    let w = Shadow_mem.peek_word m !s in
+    let lanes = min 8 (hi_seg - !s) in
+    for k = 0 to lanes - 1 do
+      let c = class_of (Shadow_mem.word_byte w k) in
+      match !runs with
+      | (c', n) :: rest when c' = c -> runs := (c', n + 1) :: rest
+      | _ -> runs := (c, 1) :: !runs
+    done;
+    s := !s + 8
   done;
   String.concat ", "
     (List.rev_map

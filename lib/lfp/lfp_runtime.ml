@@ -109,7 +109,7 @@ let create config =
     free;
     access;
     check_region;
-    new_cache = (fun ~base -> { San.cache_base = base; cache_ub = 0 });
+    new_cache = (fun ~base -> San.new_cache ~base);
     cached_access =
       (fun cache ~off ~width ->
         access ~base:cache.San.cache_base

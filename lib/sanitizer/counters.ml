@@ -8,6 +8,7 @@ type t = {
   mutable region_checks : int;
   mutable fast_checks : int;
   mutable slow_checks : int;
+  mutable word_checks : int;
   mutable cache_hits : int;
   mutable cache_updates : int;
   mutable underflow_checks : int;
@@ -36,6 +37,9 @@ let spec : t Metric.spec =
     Metric.field "slow_checks"
       (fun t -> t.slow_checks)
       (fun t v -> t.slow_checks <- v);
+    Metric.field "word_checks"
+      (fun t -> t.word_checks)
+      (fun t v -> t.word_checks <- v);
     Metric.field "cache_hits"
       (fun t -> t.cache_hits)
       (fun t v -> t.cache_hits <- v);
@@ -60,6 +64,7 @@ let create () =
     region_checks = 0;
     fast_checks = 0;
     slow_checks = 0;
+    word_checks = 0;
     cache_hits = 0;
     cache_updates = 0;
     underflow_checks = 0;
@@ -73,7 +78,9 @@ let add acc x = Metric.add spec acc x
 (* Check executions regardless of flavour. [fast_checks] and [slow_checks]
    are deliberately absent: they partition [region_checks] (every region
    check is settled by exactly one of the two paths), so adding them would
-   double-count — see the qcheck partition invariant in test_counters.ml. *)
+   double-count — see the qcheck partition invariant in test_counters.ml.
+   [word_checks] is absent for the same reason: it counts the subset of
+   [fast_checks] settled by the one-word kernel, not new check events. *)
 let total_checks_fields =
   [ "instr_checks"; "region_checks"; "cache_hits"; "cache_updates";
     "bounds_checks" ]

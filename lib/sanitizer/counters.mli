@@ -15,6 +15,9 @@ type t = {
   mutable region_checks : int;  (** operation-level region checks executed *)
   mutable fast_checks : int;  (** region checks settled by the fast path *)
   mutable slow_checks : int;  (** region checks that entered the slow path *)
+  mutable word_checks : int;
+      (** the subset of [fast_checks] settled by the one-word kernel (all
+          probes served from a single 64-bit shadow load) *)
   mutable cache_hits : int;  (** accesses settled by the quasi-bound *)
   mutable cache_updates : int;  (** quasi-bound refreshes (metadata loads) *)
   mutable underflow_checks : int;  (** dedicated negative-offset checks *)
@@ -38,7 +41,9 @@ val total_checks : t -> int
     partition [region_checks] (every region check is settled by exactly
     one of the fast or the slow path, the invariant
     [fast_checks + slow_checks = region_checks] that the qcheck suite
-    holds every tool to), so including them would double-count. *)
+    holds every tool to), so including them would double-count.
+    [word_checks] is excluded for the same reason: it subdivides
+    [fast_checks] ([word_checks <= fast_checks] always). *)
 
 val to_assoc : t -> (string * int) list
 val pp : Format.formatter -> t -> unit

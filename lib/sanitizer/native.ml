@@ -22,7 +22,7 @@ let create config =
           None);
     access = (fun ~base:_ ~addr:_ ~width:_ -> None);
     check_region = (fun ~lo:_ ~hi:_ -> None);
-    new_cache = (fun ~base -> { Sanitizer.cache_base = base; cache_ub = 0 });
+    new_cache = (fun ~base -> Sanitizer.new_cache ~base);
     cached_access = (fun _ ~off:_ ~width:_ -> None);
     flush_cache = (fun _ -> None);
     supports_operation_level = false;

@@ -1,7 +1,115 @@
 module Memsim = Giantsan_memsim
 module Histogram = Giantsan_telemetry.Histogram
 
-type cache = { mutable cache_base : int; mutable cache_ub : int }
+(* History-caching state (§4.3), generalized from the original single
+   quasi-bound slot into a small MRU window history (the UM's two-slot
+   recent-segment idiom). Each window [w_lo, w_hi) records a span of
+   absolute addresses proven addressable at the time it was stored; a
+   window is empty iff w_lo >= w_hi. Slot 0 is the most recently used;
+   [cache_note] merges overlapping/adjacent windows and evicts the least
+   recent when the slots overflow, so an evicted bound is always one that
+   was itself proven — eviction can never manufacture a claim. Carrying
+   windows (a lower AND an upper edge) instead of a single upper bound is
+   what lets descending and strided access streams hit cache: the fix for
+   the fig11 reverse-traversal regression. *)
+type window = { mutable w_lo : int; mutable w_hi : int }
+type cache = { mutable cache_base : int; windows : window array }
+
+let mru_slots = 3
+
+let new_cache ~base =
+  { cache_base = base;
+    windows = Array.init mru_slots (fun _ -> { w_lo = 0; w_hi = 0 }) }
+
+let cache_windows c =
+  Array.to_list c.windows
+  |> List.filter_map (fun w ->
+         if w.w_lo < w.w_hi then Some (w.w_lo, w.w_hi) else None)
+
+(* Quasi-bound view for telemetry and compatibility: how far above
+   [cache_base] the cache currently vouches. *)
+let cache_ub c =
+  let ub = ref 0 in
+  Array.iter
+    (fun w ->
+      if w.w_lo < w.w_hi && w.w_lo <= c.cache_base && w.w_hi > c.cache_base
+      then ub := max !ub (w.w_hi - c.cache_base))
+    c.windows;
+  !ub
+
+let cache_hit c ~lo ~hi =
+  hi <= lo
+  ||
+  let n = Array.length c.windows in
+  let rec find k =
+    if k >= n then -1
+    else
+      let w = c.windows.(k) in
+      if w.w_lo < w.w_hi && w.w_lo <= lo && hi <= w.w_hi then k
+      else find (k + 1)
+  in
+  let k = find 0 in
+  k >= 0
+  && begin
+       (* promote the covering window to the MRU front *)
+       let w = c.windows.(k) in
+       for j = k downto 1 do
+         c.windows.(j) <- c.windows.(j - 1)
+       done;
+       c.windows.(0) <- w;
+       true
+     end
+
+let cache_note c ~lo ~hi =
+  if hi > lo then begin
+    (* union with every overlapping-or-adjacent window, to fixpoint (a
+       grown union can newly touch a window an earlier pass skipped) *)
+    let glo = ref lo and ghi = ref hi in
+    let absorbed = Array.map (fun _ -> false) c.windows in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      Array.iteri
+        (fun k w ->
+          if
+            (not absorbed.(k))
+            && w.w_lo < w.w_hi
+            && w.w_lo <= !ghi
+            && !glo <= w.w_hi
+          then begin
+            glo := min !glo w.w_lo;
+            ghi := max !ghi w.w_hi;
+            absorbed.(k) <- true;
+            changed := true
+          end)
+        c.windows
+    done;
+    (* merged window takes the front; surviving disjoint windows keep
+       their recency order behind it; the least recent falls off *)
+    let survivors =
+      Array.to_list c.windows
+      |> List.filteri (fun k _ -> not absorbed.(k))
+      |> List.filter_map (fun w ->
+             if w.w_lo < w.w_hi then Some (w.w_lo, w.w_hi) else None)
+    in
+    let rest = ref survivors in
+    Array.iteri
+      (fun k w ->
+        if k = 0 then begin
+          w.w_lo <- !glo;
+          w.w_hi <- !ghi
+        end
+        else
+          match !rest with
+          | (a, b) :: tl ->
+            rest := tl;
+            w.w_lo <- a;
+            w.w_hi <- b
+          | [] ->
+            w.w_lo <- 0;
+            w.w_hi <- 0)
+      c.windows
+  end
 
 type t = {
   name : string;

@@ -8,14 +8,52 @@
     Checks return [Report.t option] instead of raising: the paper runs all
     tools with [halt_on_error=false]. *)
 
+type window = {
+  mutable w_lo : int;  (** inclusive absolute lower edge *)
+  mutable w_hi : int;  (** exclusive absolute upper edge *)
+}
+(** One history entry: a span of absolute addresses proven addressable when
+    it was stored. Empty iff [w_lo >= w_hi]. *)
+
 type cache = {
   mutable cache_base : int;  (** the pointer this cache belongs to *)
-  mutable cache_ub : int;
-      (** quasi-bound: bytes from [cache_base] already proven addressable
-          (exclusive offset). 0 = nothing proven yet. *)
+  windows : window array;
+      (** MRU history, slot 0 most recent. Every non-empty window was proven
+          addressable at store time, so eviction can never manufacture a
+          claim. Windows carry a lower {e and} an upper edge, which is what
+          lets descending and strided streams hit cache (the fig11
+          reverse-traversal fix). *)
 }
-(** History-caching state (§4.3). Non-caching sanitizers keep [cache_ub = 0]
-    forever, so every cached access falls back to a plain check. *)
+(** History-caching state (§4.3), generalized from the single quasi-bound
+    slot into a small MRU window history. Non-caching sanitizers never call
+    [cache_note], so every cached access falls back to a plain check. *)
+
+val mru_slots : int
+(** Number of history entries per cache (small by design — the UM's
+    two-slot recent-segment idiom shows how cheap this is). *)
+
+val new_cache : base:int -> cache
+(** A cache with all windows empty (shared by every runtime). *)
+
+val cache_hit : cache -> lo:int -> hi:int -> bool
+(** Does some window cover [\[lo, hi)]? Promotes the covering window to the
+    MRU front. Empty queries ([hi <= lo]) hit vacuously. *)
+
+val cache_note : cache -> lo:int -> hi:int -> unit
+(** Record [\[lo, hi)] as proven addressable: merged with every
+    overlapping-or-adjacent window (to fixpoint) and stored at the MRU
+    front; the least recently used window is evicted if the slots overflow.
+    Callers must only note spans a check just proved — the flush contract
+    re-verifies exactly what was noted. *)
+
+val cache_ub : cache -> int
+(** The classic quasi-bound view: bytes above [cache_base] the history
+    currently vouches for (0 when no window contains the base). Used by
+    telemetry. *)
+
+val cache_windows : cache -> (int * int) list
+(** Non-empty [(w_lo, w_hi)] pairs in MRU order — for flushing, tests and
+    diagnostics. *)
 
 type t = {
   name : string;

@@ -117,6 +117,11 @@ let run ?progress cfg =
   let dumps = ref [] in
   let faults = ref [] in
   let chaos_note = ref None in
+  (* per-tenant snapshots from the previous control-plane pass, for the
+     stall detector: a tick that completed nothing is only visible as a
+     delta against these *)
+  let last_ops = Array.make cfg.tenants 0 in
+  let last_shed = Array.make cfg.tenants 0 in
   for tick = 0 to cfg.ticks - 1 do
     (* 1. arrivals (serial; private arrival streams) *)
     Array.iter (fun t -> Tenant.tick_arrivals t ~mean:cfg.arrival_mean) tenants;
@@ -126,7 +131,11 @@ let run ?progress cfg =
       Array.map
         (fun t () ->
           let q =
-            if Tenant.state t = Tenant.Degraded then max 1 (cfg.quantum / 2)
+            (* half quantum, floored at one op — except that half of a zero
+               quantum must stay zero, or degradation would grant a fully
+               stalled loop more service than a healthy one *)
+            if Tenant.state t = Tenant.Degraded then
+              min cfg.quantum (max 1 (cfg.quantum / 2))
             else cfg.quantum
           in
           Tenant.run_quantum t ~max_ops:q)
@@ -157,7 +166,33 @@ let run ?progress cfg =
         (* SLO watchdog over every newly closed window span *)
         if Tenant.state t <> Tenant.Quarantined then
           match Tenant.poll_windows t with
-          | None -> ()
+          | None ->
+            (* a tenant that closes no window produces nothing for the
+               watchdog to evaluate — which used to make a fully wedged
+               tenant (zero completed ops, demand piling up) look healthy
+               forever. Under an active SLO, such a tick is a stall:
+               count it against the breach streak so a stalled tenant
+               walks the same escalation ladder as a slow one. *)
+            let id = Tenant.id t in
+            if
+              (not (Slo.is_none cfg.slo))
+              && Tenant.ops t = last_ops.(id)
+              && (Tenant.queue_depth t > 0 || Tenant.shed t > last_shed.(id))
+            then begin
+              Tenant.record_breach t
+                {
+                  Slo.b_slo = "stalled";
+                  b_value = 0.0;
+                  b_limit =
+                    (match cfg.slo.Slo.min_ops_per_sec with
+                    | Some f -> f
+                    | None -> 0.0);
+                };
+              let streak = Tenant.breach_streak t + 1 in
+              Tenant.set_breach_streak t streak;
+              if escalate t streak = Tenant.Quarantined then
+                dumps := (Tenant.id t, Tenant.dump t) :: !dumps
+            end
           | Some ws ->
             let breaches =
               Slo.evaluate cfg.slo ~p999_ns:ws.Tenant.ws_p999_ns
@@ -178,6 +213,11 @@ let run ?progress cfg =
               if escalate t streak = Tenant.Quarantined then
                 dumps := (Tenant.id t, Tenant.dump t) :: !dumps
             end)
+      tenants;
+    Array.iter
+      (fun t ->
+        last_ops.(Tenant.id t) <- Tenant.ops t;
+        last_shed.(Tenant.id t) <- Tenant.shed t)
       tenants;
     match progress with
     | Some f when cfg.report_every > 0 && (tick + 1) mod cfg.report_every = 0 ->

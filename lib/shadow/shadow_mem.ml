@@ -14,14 +14,53 @@ let of_heap heap ~fill =
 
 let segments t = Bytes.length t.bytes
 
+(* Counting discipline (same clamp-then-count rule as the store kernels
+   below): only probes that touch real metadata are charged. The virtual
+   space beyond the arena answers with [fill] for free — charging it would
+   overcount exactly like the fill_range drift bug did on the store side. *)
 let load t p =
-  t.loads <- t.loads + 1;
   if p < 0 || p >= Bytes.length t.bytes then t.fill
-  else Char.code (Bytes.get t.bytes p)
+  else begin
+    t.loads <- t.loads + 1;
+    Char.code (Bytes.get t.bytes p)
+  end
 
 let peek t p =
   if p < 0 || p >= Bytes.length t.bytes then t.fill
   else Char.code (Bytes.get t.bytes p)
+
+(* Word-wide metadata fetch: segments [p, p+8) packed little-endian, so
+   byte [k] of the result is segment [p + k]. One counted load per word —
+   the folding encoding exists precisely so a single 64-bit load can vouch
+   for 64 segments, and the cost model must see it as a single event. A
+   word that only straddles the arena end still costs one load (the arena
+   part is a real fetch); a word entirely outside costs nothing. *)
+let word_of_bytes t p =
+  if p >= 0 && p + 8 <= Bytes.length t.bytes then Bytes.get_int64_le t.bytes p
+  else begin
+    (* arena-end (or -start) straddle: assemble per byte, fill outside *)
+    let w = ref 0L in
+    for k = 7 downto 0 do
+      let q = p + k in
+      let v =
+        if q < 0 || q >= Bytes.length t.bytes then t.fill
+        else Char.code (Bytes.get t.bytes q)
+      in
+      w := Int64.logor (Int64.shift_left !w 8) (Int64.of_int v)
+    done;
+    !w
+  end
+
+let load_word t p =
+  if p + 8 > 0 && p < Bytes.length t.bytes then t.loads <- t.loads + 1;
+  word_of_bytes t p
+
+(* Uncounted word fetch: the audit/dump twin of [peek]. Selfcheck and
+   shadow dumps walk the whole arena; charging those scans would swamp the
+   workload's own counters. *)
+let peek_word t p = word_of_bytes t p
+
+let word_byte w k = Int64.to_int (Int64.logand (Int64.shift_right_logical w (8 * k)) 0xFFL)
 
 let set t p v =
   assert (v >= 0 && v < 256);

@@ -20,10 +20,27 @@ val segments : t -> int
 val load : t -> int -> int
 (** [load m p] reads segment state [m[p]] (0..255) and counts one metadata
     load. Out-of-range [p] returns the fill value (the virtual space beyond
-    the arena is non-addressable), still counting the load. *)
+    the arena is non-addressable) without counting — only probes that touch
+    real metadata are charged, mirroring the clamp-then-count rule of the
+    store kernels. *)
 
 val peek : t -> int -> int
 (** Like [load] but uncounted — for tests and pretty-printing only. *)
+
+val load_word : t -> int -> int64
+(** [load_word m p] fetches segments [p, p+8) in one counted metadata load,
+    packed little-endian: byte [k] of the result is segment [p + k].
+    Out-of-range segments read as the fill value (arena-end clamping is
+    per-byte), and a word that lies entirely outside the arena costs no
+    load at all. In-range words compile to a single 64-bit fetch. *)
+
+val peek_word : t -> int -> int64
+(** Like [load_word] but uncounted — for audits (selfcheck) and dumps whose
+    whole-arena scans must not perturb the workload's cost model. *)
+
+val word_byte : int64 -> int -> int
+(** [word_byte w k] extracts lane [k] (0..7) of a shadow word: the state
+    code of segment [p + k] when [w = load_word m p]. *)
 
 val set : t -> int -> int -> unit
 (** [set m p v] writes segment state (0..255), counting one metadata store. *)

@@ -134,6 +134,24 @@ let region_check t ~l ~r =
 let region_check_unaligned t ~l ~r =
   if r <= l then `Safe else region_check t ~l:(l land lnot 7) ~r
 
+(* Reference for Shadow_mem.load_word / peek_word: the word assembled from
+   eight single-byte peeks, little-endian — lane k of the result is the
+   code of segment p + k, with out-of-range lanes answering the fill byte.
+   The optimized kernel reads Bytes.get_int64_le when the word sits inside
+   the arena and falls back to per-byte assembly on straddles; either way
+   it must equal this. *)
+let word_at t p =
+  let w = ref 0L in
+  for k = 7 downto 0 do
+    w := Int64.logor (Int64.shift_left !w 8) (Int64.of_int (peek t (p + k)))
+  done;
+  !w
+
+(* Counting discipline of Shadow_mem.load_word: one counted load exactly
+   when some lane of [p, p+8) lands in the arena — the word-level mirror of
+   the clamp-then-count rule the byte loads follow. *)
+let word_load_counted t p = p + 8 > 0 && p < segments t
+
 (* Reference for Folding.upper_bound: from the start of [addr]'s segment,
    walk forward one byte at a time while addressable, stopping at the arena
    end; never answer below [addr] itself. *)

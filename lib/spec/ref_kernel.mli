@@ -55,6 +55,15 @@ val region_check : t -> l:int -> r:int -> [ `Safe | `Bad of int ]
 
 val region_check_unaligned : t -> l:int -> r:int -> [ `Safe | `Bad of int ]
 
+val word_at : t -> int -> int64
+(** Reference for [Shadow_mem.load_word]/[peek_word]: eight single-byte
+    peeks assembled little-endian — lane [k] holds segment [p + k], with
+    out-of-range lanes answering the fill byte. *)
+
+val word_load_counted : t -> int -> bool
+(** Counting discipline of [Shadow_mem.load_word]: exactly one load is
+    charged iff some lane of [p, p+8) lands in the arena. *)
+
 val upper_bound : t -> addr:int -> int
 (** Reference for [Folding.upper_bound]: linear byte walk from the start of
     [addr]'s segment, clamped to the arena end, never below [addr]. *)

@@ -319,6 +319,9 @@ let audit ctx =
   then
     fail "counter partition broken: fast %d + slow %d <> region %d"
       c.Counters.fast_checks c.Counters.slow_checks c.Counters.region_checks;
+  if c.Counters.word_checks > c.Counters.fast_checks then
+    fail "word checks %d exceed the fast checks %d they subdivide"
+      c.Counters.word_checks c.Counters.fast_checks;
   let heap = ctx.san.San.heap in
   let expect = Model.shadow_array ctx.model in
   let n = Array.length expect in
@@ -331,6 +334,22 @@ let audit ctx =
       fail "shadow seg %d: model expects %s, real shadow holds %s" seg
         (State_code.describe expect.(seg))
         (State_code.describe actual)
+  done;
+  (* the word read path must agree lane-for-lane with the scalar peeks it
+     batches — audited after every step so a word-assembly bug can't hide
+     behind shadows that happen to be canonical *)
+  let s = ref 0 in
+  while !s < n do
+    let w = Shadow_mem.peek_word ctx.shadow !s in
+    for k = 0 to min 8 (n - !s) - 1 do
+      let lane = Shadow_mem.word_byte w k
+      and scalar = Shadow_mem.peek ctx.shadow (!s + k) in
+      if lane <> scalar then
+        fail "word lane %d of segment %d: word path %s, scalar peek %s" k !s
+          (State_code.describe lane)
+          (State_code.describe scalar)
+    done;
+    s := !s + 8
   done;
   let a = Heap.arena heap in
   for addr = 0 to Arena.size a - 1 do

@@ -62,6 +62,7 @@ type bench_profile = {
   bp_region_checks : int;
   bp_fast_checks : int;
   bp_slow_checks : int;
+  bp_word_checks : int;
 }
 
 type service_row = {
@@ -127,7 +128,12 @@ let bench_json ~groups ~profiles ?(service = []) ?(spans = []) () =
         ("region_checks", Json.Int checks);
         ("fast_checks", Json.Int p.bp_fast_checks);
         ("slow_checks", Json.Int p.bp_slow_checks);
+        ("word_checks", Json.Int p.bp_word_checks);
         ("fast_path_ratio", Json.Float fast_ratio);
+        ( "word_path_ratio",
+          Json.Float
+            (if checks = 0 then 0.0
+             else float_of_int p.bp_word_checks /. float_of_int checks) );
       ]
   in
   Json.to_string
@@ -206,7 +212,7 @@ let parse_bench_service text =
 
 let gate_count_fields =
   [ "ops"; "shadow_loads"; "shadow_stores"; "region_checks"; "fast_checks";
-    "slow_checks" ]
+    "slow_checks"; "word_checks" ]
 
 type gate_profile = {
   g_profile : string;

@@ -44,6 +44,10 @@ type bench_profile = {
   bp_region_checks : int;
   bp_fast_checks : int;
   bp_slow_checks : int;
+  bp_word_checks : int;
+      (** fast checks settled by the word kernel (one 8-byte shadow load);
+          a subdivision of [bp_fast_checks], exported with its own
+          [word_path_ratio] *)
 }
 
 type service_row = {
@@ -88,7 +92,18 @@ val parse_bench_service : string -> (service_row list, string) result
 
 val gate_count_fields : string list
 (** The per-profile fields the gate requires to match exactly:
-    ops, shadow loads/stores, region/fast/slow check counts. *)
+    ops, shadow loads/stores, region/fast/slow/word check counts. *)
+
+type gate_profile = {
+  g_profile : string;
+  g_config : string;
+  g_ns_per_op : float;
+  g_counts : (string * int) list;  (** in [gate_count_fields] order *)
+}
+
+val parse_bench_profiles : string -> (gate_profile list, string) result
+(** Parse the [profiles] section of a BENCH_giantsan.json document into
+    gate rows — what [compare_bench] diffs and the fig11 CI gate reads. *)
 
 val compare_bench :
   tolerance:float -> baseline:string -> current:string ->

@@ -206,15 +206,125 @@ let test_region_check_matches_reference =
         let real = RC.check_unaligned m ~l ~r:(l + len) in
         let reference = Ref_kernel.region_check_unaligned r ~l ~r:(l + len) in
         (match (real, reference) with
-        | (RC.Safe_fast | RC.Safe_slow), `Safe -> ()
+        | (RC.Safe_fast | RC.Safe_slow | RC.Safe_word), `Safe -> ()
         | RC.Bad a, `Bad _ ->
           (* blame containment: anywhere in the aligned window *)
           if not (a >= l land lnot 7 && a < l + len) then ok := false
-        | (RC.Safe_fast | RC.Safe_slow), `Bad _ | RC.Bad _, `Safe ->
+        | (RC.Safe_fast | RC.Safe_slow | RC.Safe_word), `Bad _
+        | RC.Bad _, `Safe ->
           ok := false);
         ignore (Shadow_mem.loads m)
       done;
       !ok)
+
+let test_word_check_matches_scalar =
+  q ~count:120 "word check path = scalar Algorithm 1, corrupted shadows too"
+    QCheck.small_int
+    (fun seed ->
+      let san, m, _, rng = scene seed in
+      (* plant a misfolded allocation (armed fault plan) and raw pokes: the
+         word kernel extracts the scalar probe bytes from one load, so it
+         must agree on ANY shadow contents — a misfold has to make both
+         paths diverge from the truth identically, never from each other *)
+      (try
+         ignore
+           (Folding.with_fault
+              (Some (Folding.Overstate_last (1 + Rng.int rng 6)))
+              (fun () -> san.San.malloc (8 * Rng.int_in rng 3 20)))
+       with Out_of_memory -> ());
+      for _ = 1 to 6 do
+        Shadow_mem.poke m (Rng.int rng (Shadow_mem.segments m)) (Rng.int rng 256)
+      done;
+      let arena_end = 8 * Shadow_mem.segments m in
+      let ok = ref true in
+      for _ = 1 to 64 do
+        (* aligned spans <= 64 bytes dispatch to the word kernel, including
+           arena-end straddles and fully out-of-arena starts *)
+        let l = 8 * Rng.int rng ((arena_end / 8) + 2) in
+        let len = Rng.int_in rng 1 64 in
+        let before = Shadow_mem.loads m in
+        let word = RC.check m ~l ~r:(l + len) in
+        let word_loads = Shadow_mem.loads m - before in
+        let scalar = RC.check_scalar m ~l ~r:(l + len) in
+        (match (word, scalar) with
+        | RC.Safe_word, (RC.Safe_fast | RC.Safe_slow) -> ()
+        | RC.Bad a, RC.Bad b -> if a <> b then ok := false
+        | _ -> ok := false);
+        (* the whole verdict costs one counted load (zero past the arena) *)
+        let expect_loads = if l < arena_end then 1 else 0 in
+        if word_loads <> expect_loads then ok := false
+      done;
+      (* unaligned wrapper vs its scalar twin: unaligned l and r, zero and
+         negative lengths *)
+      for _ = 1 to 32 do
+        let l = Rng.int rng (arena_end + 16) in
+        let len = Rng.int_in rng (-8) 72 in
+        let a = RC.check_unaligned m ~l ~r:(l + len)
+        and b = RC.check_unaligned_scalar m ~l ~r:(l + len) in
+        match (a, b) with
+        | ( (RC.Safe_fast | RC.Safe_slow | RC.Safe_word),
+            (RC.Safe_fast | RC.Safe_slow | RC.Safe_word) ) -> ()
+        | RC.Bad x, RC.Bad y -> if x <> y then ok := false
+        | _ -> ok := false
+      done;
+      !ok)
+
+let test_load_word_matches_reference =
+  q ~count:120 "Shadow_mem.load_word = eight-peek reference, counting exact"
+    QCheck.small_int
+    (fun seed ->
+      let _, m, r, rng = scene seed in
+      let n = Shadow_mem.segments m in
+      let ok = ref true in
+      for _ = 1 to 64 do
+        (* in-arena words, arena-end straddles, fully outside, negative *)
+        let p = Rng.int_in rng (-12) (n + 12) in
+        let before = Shadow_mem.loads m in
+        let w = Shadow_mem.load_word m p in
+        let counted = Shadow_mem.loads m - before in
+        if w <> Ref_kernel.word_at r p then ok := false;
+        if counted <> (if Ref_kernel.word_load_counted r p then 1 else 0) then
+          ok := false;
+        (* peek_word answers the same word without touching the counter *)
+        let before = Shadow_mem.loads m in
+        if Shadow_mem.peek_word m p <> w then ok := false;
+        if Shadow_mem.loads m <> before then ok := false;
+        (* lane extraction = the scalar peeks it batches *)
+        for k = 0 to 7 do
+          if Shadow_mem.word_byte w k <> Shadow_mem.peek m (p + k) then
+            ok := false
+        done
+      done;
+      !ok)
+
+let test_mru_windows_stay_addressable =
+  q ~count:80 "MRU history windows only ever cover addressable bytes"
+    QCheck.small_int
+    (fun seed ->
+      let san, m, _, rng = scene seed in
+      match (try Some (san.San.malloc 120) with Out_of_memory -> None) with
+      | None -> true
+      | Some obj ->
+        let r = Ref_kernel.of_shadow m in
+        let base = obj.Memsim.Memobj.base + (8 * Rng.int rng 16) in
+        let cache = san.San.new_cache ~base in
+        let ok = ref true in
+        for _ = 1 to 32 do
+          let off = Rng.int_in rng (-32) 140 in
+          let width = Rng.pick rng [| 1; 2; 4; 8 |] in
+          ignore (san.San.cached_access cache ~off ~width);
+          (* after every access — note, merge, promote or evict — each
+             retained window must re-check clean against the byte-wise
+             reference: no merge or eviction may ever leave a cached span
+             reaching past the true object extent *)
+          List.iter
+            (fun (lo, hi) ->
+              match Ref_kernel.region_check_unaligned r ~l:lo ~r:hi with
+              | `Safe -> ()
+              | `Bad _ -> ok := false)
+            (San.cache_windows cache)
+        done;
+        !ok)
 
 let test_upper_bound_matches_reference =
   q ~count:120 "Folding.upper_bound = byte-walk reference" QCheck.small_int
@@ -450,6 +560,9 @@ let () =
       ( "spec-kernels",
         [
           test_region_check_matches_reference;
+          test_word_check_matches_scalar;
+          test_load_word_matches_reference;
+          test_mru_windows_stay_addressable;
           test_upper_bound_matches_reference;
           test_lower_bound_sound_per_reference;
           test_quasi_bound_matches_reference;

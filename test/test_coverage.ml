@@ -93,10 +93,29 @@ let test_pp_functions_and_globals () =
 
 let test_shadow_mem_edges () =
   let m = Shadow_mem.create ~segments:8 ~fill:SC.unallocated in
-  (* out-of-range loads return the fill and still count *)
+  (* regression: out-of-range loads return the fill WITHOUT counting —
+     they touch no metadata, so charging them skewed the event-count
+     ns/op model for workloads straddling the arena end (the load-side
+     mirror of the fill_range clamp-then-count fix) *)
   Alcotest.(check int) "past the end" SC.unallocated (Shadow_mem.load m 100);
   Alcotest.(check int) "negative" SC.unallocated (Shadow_mem.load m (-1));
-  Alcotest.(check int) "two loads counted" 2 (Shadow_mem.loads m);
+  Alcotest.(check int) "out-of-arena probes are free" 0 (Shadow_mem.loads m);
+  Alcotest.(check int) "in-range load counts" SC.unallocated
+    (Shadow_mem.load m 3);
+  Alcotest.(check int) "exactly the in-arena load counted" 1
+    (Shadow_mem.loads m);
+  (* word loads follow the same rule: one load per word that overlaps the
+     arena, nothing for a word entirely outside *)
+  Shadow_mem.reset_counters m;
+  ignore (Shadow_mem.load_word m 0);
+  Alcotest.(check int) "in-arena word: one load" 1 (Shadow_mem.loads m);
+  ignore (Shadow_mem.load_word m 4);
+  Alcotest.(check int) "arena-end straddle: one load" 2 (Shadow_mem.loads m);
+  ignore (Shadow_mem.load_word m 100);
+  ignore (Shadow_mem.load_word m (-8));
+  Alcotest.(check int) "fully outside words are free" 2 (Shadow_mem.loads m);
+  ignore (Shadow_mem.peek_word m 0);
+  Alcotest.(check int) "peek_word is uncounted" 2 (Shadow_mem.loads m);
   (* out-of-range stores are dropped silently *)
   Shadow_mem.set m 100 7;
   Alcotest.(check int) "in-range unaffected" SC.unallocated (Shadow_mem.peek m 7);

@@ -68,6 +68,10 @@ let test_lower_bound_never_crosses_redzone =
       end)
 
 let test_reverse_prescan_fixes_the_asymmetry () =
+  (* the prescan was the workload-side workaround for the §5.4 reverse
+     asymmetry; the MRU window history has since fixed the naive path
+     itself, so the prescan is now only a small further saving (it skips
+     the lower_bound walk and the per-window flush) rather than a rescue *)
   let san = Runner.make_sanitizer Runner.Giantsan in
   let base = Traversal.prepare san ~size:8192 in
   let naive = Traversal.reverse san ~base ~size:8192 in
@@ -79,7 +83,8 @@ let test_reverse_prescan_fixes_the_asymmetry () =
        smart.Traversal.t_shadow_loads naive.Traversal.t_shadow_loads)
     true
     (smart.Traversal.t_shadow_loads <= 4
-    && naive.Traversal.t_shadow_loads > 100)
+    && naive.Traversal.t_shadow_loads <= 100
+    && smart.Traversal.t_shadow_loads <= naive.Traversal.t_shadow_loads)
 
 let test_reverse_prescan_still_detects () =
   let san = Runner.make_sanitizer Runner.Giantsan in

@@ -85,8 +85,12 @@ let test_negative_offsets_always_checked () =
     c.Counters.underflow_checks
 
 let test_negative_offset_within_object () =
-  (* a pointer into the middle of an object: negative offsets that stay
-     inside the object are fine and still checked each time *)
+  (* a pointer into the middle of an object: a descending stream used to
+     pay a dedicated underflow check on EVERY access (the §5.4 fig11
+     regression — "no caching on the low side"). The window history now
+     caches the low side: the first miss pays the check once and extends
+     the window down to the fold-derived run floor, and every later
+     in-window access is a cache hit. *)
   let san, base = fresh () in
   let mid = base + 512 in
   let cache = san.San.new_cache ~base:mid in
@@ -98,8 +102,10 @@ let test_negative_offset_within_object () =
         (Giantsan_sanitizer.Report.to_string r)
   done;
   let c = san.San.counters in
-  Alcotest.(check bool) "no caching on the low side" true
-    (c.Counters.underflow_checks >= 10)
+  Alcotest.(check int) "one dedicated underflow check for the whole stream"
+    1 c.Counters.underflow_checks;
+  Alcotest.(check int) "the other nine accesses hit the history" 9
+    c.Counters.cache_hits
 
 let test_underflow_tail_uses_cache () =
   (* an access straddling the cache base (off < 0 < off + width) splits
@@ -135,12 +141,11 @@ let test_underflow_tail_uses_cache () =
     c.Counters.region_checks
 
 let test_offset_zero_straddle_cache_ub_tail () =
-  (* named regression for the cache_ub tail at offset 0 (a divergence
+  (* named regression for the straddle tail at offset 0 (a divergence
      class the refinement harness generator is required to cover): a
      straddling access (off < 0 < off + width) splits at the cache base;
-     the tail is served by the quasi-bound exactly when
-     off + width <= cache_ub, and an access ending exactly at offset 0
-     does no tail work at all *)
+     each side is served by the window history independently, and an
+     access ending exactly at offset 0 does no tail work at all *)
   let san, base = fresh () in
   let mid = base + 256 in
   let cache = san.San.new_cache ~base:mid in
@@ -150,24 +155,107 @@ let test_offset_zero_straddle_cache_ub_tail () =
     (Helpers.check_is_safe (san.San.cached_access cache ~off:(-4) ~width:4));
   Alcotest.(check int) "ends exactly at offset 0: underflow side only"
     (regions + 1) c.Counters.region_checks;
-  Alcotest.(check int) "ends exactly at offset 0: no tail hit" hits
+  Alcotest.(check int) "ends exactly at offset 0: no tail work at all" hits
     c.Counters.cache_hits;
-  let regions = c.Counters.region_checks in
-  Alcotest.(check bool) "cold straddle: safe" true
+  (* the miss above extended the history down to the run floor, so the
+     straddle's low side is now a hit; only the never-proven tail checks *)
+  let regions = c.Counters.region_checks and hits = c.Counters.cache_hits in
+  Alcotest.(check bool) "straddle after a low-side miss: safe" true
     (Helpers.check_is_safe (san.San.cached_access cache ~off:(-4) ~width:8));
-  Alcotest.(check int) "cold straddle: both sides checked" (regions + 2)
-    c.Counters.region_checks;
-  (* warm the bound past the tail, then straddle again *)
+  Alcotest.(check int) "straddle: only the unproven tail checked"
+    (regions + 1) c.Counters.region_checks;
+  Alcotest.(check int) "straddle: low side served by the history" (hits + 1)
+    c.Counters.cache_hits;
+  (* warm the bound past the tail, then straddle again: both sides hit *)
   for j = 0 to 7 do
     ignore (san.San.cached_access cache ~off:(8 * j) ~width:8)
   done;
   let regions = c.Counters.region_checks and hits = c.Counters.cache_hits in
   Alcotest.(check bool) "warm straddle: safe" true
     (Helpers.check_is_safe (san.San.cached_access cache ~off:(-4) ~width:8));
-  Alcotest.(check int) "warm straddle: only the underflow side checked"
-    (regions + 1) c.Counters.region_checks;
-  Alcotest.(check int) "warm straddle: tail is a cache hit" (hits + 1)
-    c.Counters.cache_hits
+  Alcotest.(check int) "warm straddle: no region check at all" regions
+    c.Counters.region_checks;
+  Alcotest.(check int) "warm straddle: both sides are history hits"
+    (hits + 2) c.Counters.cache_hits;
+  (* a fully-cold cache still checks both sides of a straddle *)
+  let cold = san.San.new_cache ~base:mid in
+  let regions = c.Counters.region_checks in
+  Alcotest.(check bool) "cold straddle: safe" true
+    (Helpers.check_is_safe (san.San.cached_access cold ~off:(-4) ~width:8));
+  Alcotest.(check int) "cold straddle: both sides checked" (regions + 2)
+    c.Counters.region_checks
+
+let test_underflow_tail_refreshes_bound () =
+  (* regression (satellite 1): the underflow tail used to be checked but
+     NEVER noted — `access` returned without refreshing the bound, so the
+     very next positive access paid a full region check again. The tail
+     now refreshes the history exactly like a positive miss does. *)
+  let san, base = fresh () in
+  let mid = base + 512 in
+  let cache = san.San.new_cache ~base:mid in
+  let c = san.San.counters in
+  (* cold straddle: low side pays the dedicated underflow check, tail pays
+     a region check — and BOTH sides are noted (one update for the low
+     window, one for the tail refresh) *)
+  (match san.San.cached_access cache ~off:(-4) ~width:12 with
+  | None -> ()
+  | Some r ->
+    Alcotest.failf "spurious report: %s" (Giantsan_sanitizer.Report.to_string r));
+  Alcotest.(check int) "cold straddle: dedicated underflow check" 1
+    c.Counters.underflow_checks;
+  Alcotest.(check int) "cold straddle: two region checks" 2
+    c.Counters.region_checks;
+  Alcotest.(check int) "cold straddle: both sides noted" 2
+    c.Counters.cache_updates;
+  (* the refresh read the fold at the probe, which covers the rest of the
+     object — the next positive access must be a pure history hit *)
+  let regions = c.Counters.region_checks and hits = c.Counters.cache_hits in
+  Alcotest.(check bool) "follow-up positive access: safe" true
+    (Helpers.check_is_safe (san.San.cached_access cache ~off:0 ~width:8));
+  Alcotest.(check int) "follow-up: no region check (the old bug)" regions
+    c.Counters.region_checks;
+  Alcotest.(check int) "follow-up: served by the refreshed history"
+    (hits + 1) c.Counters.cache_hits;
+  Alcotest.(check bool) "flush of the merged window is silent" true
+    (Helpers.check_is_safe (san.San.flush_cache cache))
+
+let test_mru_note_merge_promote_evict () =
+  (* the window-history data structure itself: note/merge/promote/evict *)
+  let c = San.new_cache ~base:100 in
+  Alcotest.(check int) "three slots" 3 San.mru_slots;
+  Alcotest.(check bool) "empty cache never hits" false
+    (San.cache_hit c ~lo:0 ~hi:8);
+  Alcotest.(check bool) "empty query is vacuously covered" true
+    (San.cache_hit c ~lo:8 ~hi:8);
+  (* three disjoint windows fill the slots, most recent first *)
+  San.cache_note c ~lo:0 ~hi:8;
+  San.cache_note c ~lo:16 ~hi:24;
+  San.cache_note c ~lo:32 ~hi:40;
+  Alcotest.(check (list (pair int int)))
+    "three disjoint windows, MRU order"
+    [ (32, 40); (16, 24); (0, 8) ]
+    (San.cache_windows c);
+  (* hitting the LRU window promotes it to the front *)
+  Alcotest.(check bool) "sub-span hit" true (San.cache_hit c ~lo:2 ~hi:6);
+  Alcotest.(check (list (pair int int)))
+    "hit promoted to the MRU front"
+    [ (0, 8); (32, 40); (16, 24) ]
+    (San.cache_windows c);
+  (* a note bridging two windows merges all three spans to fixpoint *)
+  San.cache_note c ~lo:6 ~hi:18;
+  Alcotest.(check (list (pair int int)))
+    "overlap merged to fixpoint, survivor behind"
+    [ (0, 24); (32, 40) ]
+    (San.cache_windows c);
+  (* disjoint notes beyond capacity evict the least recently used *)
+  San.cache_note c ~lo:60 ~hi:68;
+  San.cache_note c ~lo:80 ~hi:88;
+  Alcotest.(check (list (pair int int)))
+    "LRU window fell off"
+    [ (80, 88); (60, 68); (0, 24) ]
+    (San.cache_windows c);
+  Alcotest.(check bool) "evicted span is no longer vouched for" false
+    (San.cache_hit c ~lo:32 ~hi:40)
 
 let test_flush_catches_mid_loop_free () =
   (* Figure 9 line 14: a free during the loop is caught by the final check *)
@@ -236,6 +324,10 @@ let suite =
         test_underflow_tail_uses_cache;
       Helpers.qt "offset-0 straddle: cache_ub tail paths" `Quick
         test_offset_zero_straddle_cache_ub_tail;
+      Helpers.qt "underflow tail refreshes the bound (regression)" `Quick
+        test_underflow_tail_refreshes_bound;
+      Helpers.qt "MRU note/merge/promote/evict unit" `Quick
+        test_mru_note_merge_promote_evict;
       Helpers.qt "flush catches mid-loop free" `Quick
         test_flush_catches_mid_loop_free;
       Helpers.qt "flush is silent on clean loops" `Quick

@@ -58,7 +58,7 @@ let test_slow_path_two_folds () =
   Shadow_mem.reset_counters m;
   (match RC.check m ~l:base ~r:(base + 192) with
   | RC.Safe_slow -> ()
-  | RC.Safe_fast -> Alcotest.fail "expected slow check"
+  | RC.Safe_fast | RC.Safe_word -> Alcotest.fail "expected slow check"
   | RC.Bad _ -> Alcotest.fail "region is safe");
   Alcotest.(check bool) "O(1) loads even on slow path" true
     (Shadow_mem.loads m <= 3)
@@ -216,7 +216,7 @@ let bad_addr_within_region (seed, picks) =
       let l = (l_pick mod (arena - 16)) land lnot 7 in
       let r = min arena (l + 1 + (len_pick mod 400)) in
       match RC.check m ~l ~r with
-      | RC.Safe_fast | RC.Safe_slow -> true
+      | RC.Safe_fast | RC.Safe_slow | RC.Safe_word -> true
       | RC.Bad addr -> l <= addr && addr < r)
     picks
 
@@ -240,7 +240,7 @@ let test_bad_addr_suffix_branch_unit () =
             (Printf.sprintf "Bad addr %d in [%d, %d)" addr base (base + r_off))
             true
             (base <= addr && addr < base + r_off)
-      | RC.Safe_fast | RC.Safe_slow ->
+      | RC.Safe_fast | RC.Safe_slow | RC.Safe_word ->
           Alcotest.fail "overflowing region reported safe")
     [ 65; 66; 70; 72; 100 ]
 

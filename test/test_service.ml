@@ -157,6 +157,44 @@ let test_backpressure_sheds =
       Alcotest.(check string) "still deterministic" (fingerprint o)
         (fingerprint (Loop.run cfg)))
 
+let test_stalled_tenant_escalates =
+  Helpers.qt "a fully stalled tenant escalates instead of looking healthy"
+    `Quick (fun () ->
+      (* quantum 0: nothing is ever served, so no rate window ever closes
+         and the watchdog has no window to evaluate — the old logic left
+         the wedged tenants Healthy for the whole run. Zero-progress ticks
+         with queued demand now count against the breach streak. *)
+      let cfg =
+        {
+          base_cfg with
+          Loop.tenants = 2;
+          ticks = 12;
+          quantum = 0;
+          slo = { Slo.none with Slo.min_ops_per_sec = Some 1.0 };
+        }
+      in
+      let o = Loop.run cfg in
+      Alcotest.(check bool) "not healthy" false (Loop.healthy o);
+      Alcotest.(check int) "both tenants quarantined" 2 o.Loop.o_quarantined;
+      Alcotest.(check int) "no ops were ever completed" 0 o.Loop.o_ops;
+      Alcotest.(check bool) "backpressure: demand was shed" true
+        (o.Loop.o_shed > 0);
+      List.iter
+        (fun (s : Loop.tenant_summary) ->
+          Alcotest.(check int)
+            (Printf.sprintf "tenant %d: three stall breaches" s.Loop.s_id)
+            3 s.Loop.s_breaches)
+        o.Loop.o_tenants;
+      let rec_lines = List.assoc 0 o.Loop.o_recorders in
+      Alcotest.(check bool) "synthetic breach named on the recorder" true
+        (List.exists (fun l -> Helpers.contains l "stalled") rec_lines);
+      (* without an SLO the stall gate stays off: a wedged tenant is only
+         an SLO matter when objectives are configured *)
+      let off = Loop.run { cfg with Loop.slo = Slo.none } in
+      Alcotest.(check int) "gate off without an SLO" 0 off.Loop.o_breaches;
+      Alcotest.(check int) "nobody quarantined without an SLO" 0
+        off.Loop.o_quarantined)
+
 let test_service_rows =
   Helpers.qt "service rows: global row aggregates the tenant rows" `Quick
     (fun () ->
@@ -256,6 +294,7 @@ let suite =
       test_recovery_resets_streak;
       test_recorder_bounded;
       test_backpressure_sheds;
+      test_stalled_tenant_escalates;
       test_service_rows;
       test_bench_roundtrip;
       test_slo_parse;

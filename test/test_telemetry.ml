@@ -251,6 +251,7 @@ let mk_profile ?(sim_ns = 5000.0) ?(ops = 100) ?(stores = 40) name config =
     bp_region_checks = 30;
     bp_fast_checks = 25;
     bp_slow_checks = 5;
+    bp_word_checks = 20;
   }
 
 let mk_doc profiles = Export.bench_json ~groups:[] ~profiles ()
