@@ -345,7 +345,7 @@ let profile_stats () =
   let outcome =
     Giantsan_parallel.Sweep.run ~heap:bench_heap ~jobs
       ~profiles:(List.map shrink Profiles.all)
-      ~configs:Runner.all_configs ()
+      ~configs:Runner.bench_configs ()
   in
   List.filter_map
     (fun (r : Runner.result) ->
@@ -390,6 +390,7 @@ let fig11_stats () =
       ("native", (fun () -> Giantsan_sanitizer.Native.create config), false);
       ("giantsan", (fun () -> Giantsan_core.Gs_runtime.create config), true);
       ("asan", (fun () -> Giantsan_asan.Asan_runtime.create config), true);
+      ("pac", (fun () -> Giantsan_pac.Pac_runtime.create config), true);
     ]
   in
   List.concat_map
@@ -433,10 +434,27 @@ let fig11_stats () =
    the perf gate ignores. *)
 let service_stats () =
   let module Loop = Giantsan_service.Loop in
-  let cfg =
+  let module Policy = Giantsan_policy.Policy in
+  let base_cfg =
     { Loop.default_config with Loop.tenants = 4; seed = 11; ticks = 64; jobs }
   in
-  Loop.service_rows (Loop.run cfg)
+  let plain = Loop.service_rows (Loop.run base_cfg) in
+  (* the same fleet under the default policy spec: tenants start on the
+     policy's backend assignment, so the rows measure the policy engine's
+     steady-state cost rather than GiantSan's — prefixed so the two row
+     sets stay distinguishable in the one "service" section *)
+  let policied =
+    let cfg = { base_cfg with Loop.policy = Some Policy.default } in
+    List.map
+      (fun r ->
+        {
+          r with
+          Telemetry.Export.sv_scope =
+            "policy." ^ r.Telemetry.Export.sv_scope;
+        })
+      (Loop.service_rows (Loop.run cfg))
+  in
+  plain @ policied
 
 let () =
   print_endline "GiantSan reproduction benchmarks (Bechamel)";

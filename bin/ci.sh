@@ -188,6 +188,50 @@ assert_exit 0 dune exec bin/main.exe -- check-ndjson --lax \
   "$tmpdir/foreign.ndjson"
 echo "SLO breach exits 1, bad spec 2, strict/lax NDJSON as documented"
 
+echo "== policy engine (fixed spec/seed, vs committed expectation) =="
+# PartiSan-style partitioning: under an unmeetable throughput floor every
+# tenant must downshift (giantsan -> native under this 1.5x budget) before
+# quarantining, and the whole run — assignment lines, downshift lines,
+# summary table — is byte-deterministic, pinned against a checked-in
+# expectation and reproduced identically under --jobs 2.
+policy_spec='budget=1.5,prefer=oob:3;uaf:2,fallback=native'
+rc=0
+dune exec bin/main.exe -- serve --seed 7 --tenants 4 --duration 48 \
+  --slo ops=999999999 --policy "$policy_spec" \
+  > "$tmpdir/policy1.txt" 2> /dev/null || rc=$?
+if [ "$rc" -ne 1 ]; then
+  echo "FAIL: policy breach run exited $rc, expected 1" >&2
+  exit 1
+fi
+if ! cmp -s test/expect/policy_seed7.txt "$tmpdir/policy1.txt"; then
+  echo "FAIL: policy output drifted from test/expect/policy_seed7.txt" >&2
+  diff test/expect/policy_seed7.txt "$tmpdir/policy1.txt" >&2 || true
+  exit 1
+fi
+if ! grep -q '^downshift: ' "$tmpdir/policy1.txt"; then
+  echo "FAIL: breached policy run recorded no downshift" >&2
+  exit 1
+fi
+rc=0
+dune exec bin/main.exe -- serve --seed 7 --tenants 4 --duration 48 \
+  --slo ops=999999999 --policy "$policy_spec" --jobs 2 \
+  > "$tmpdir/policy2.txt" 2> /dev/null || rc=$?
+if [ "$rc" -ne 1 ]; then
+  echo "FAIL: policy breach run (--jobs 2) exited $rc, expected 1" >&2
+  exit 1
+fi
+if ! cmp -s "$tmpdir/policy1.txt" "$tmpdir/policy2.txt"; then
+  echo "FAIL: policy run differs between jobs=1 and jobs=2" >&2
+  diff "$tmpdir/policy1.txt" "$tmpdir/policy2.txt" >&2 || true
+  exit 1
+fi
+# exit-code contract: healthy policy run 0, malformed spec 2
+assert_exit 0 dune exec bin/main.exe -- serve --seed 7 --tenants 4 \
+  --duration 48 --policy "$policy_spec"
+assert_exit 2 dune exec bin/main.exe -- serve --policy budget=0.5
+assert_exit 2 dune exec bin/main.exe -- serve --policy speed=11
+echo "policy downshifts pinned, byte-identical across jobs, exits 1/0/2"
+
 echo "== perf gate (vs BENCH_giantsan.json baseline) =="
 # The deterministic profile sweep only: event counts must reproduce the
 # committed baseline exactly, ns/op within ±25%. Wall-clock bechamel

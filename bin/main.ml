@@ -813,6 +813,22 @@ let serve_cmd =
              (ns ceiling), $(b,err) (error-rate ceiling), $(b,ops) \
              (throughput floor); e.g. $(b,p999=20000,err=0.05,ops=50000).")
   in
+  let policy =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "policy" ] ~docv:"SPEC"
+          ~doc:
+            "PartiSan-style backend policy as comma-separated key=value \
+             clauses: $(b,budget) (mean overhead ceiling, native=1.0), \
+             $(b,prefer) (detection-class weights, \
+             $(b,cls:w) pairs joined by $(b,;) over oob/uaf/uaf-realloc/\
+             double-free), $(b,fallback) (backend when nothing fits); e.g. \
+             $(b,budget=1.5,prefer=oob:3;uaf:2,fallback=native). Tenants \
+             get backends from the budget, and a tenant that would be \
+             quarantined is first downshifted to a cheaper backend. A \
+             malformed spec exits 2.")
+  in
   let recorder =
     Arg.(
       value & opt int 64
@@ -870,7 +886,7 @@ let serve_cmd =
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
-      const (fun tenants duration seed quantum slo recorder real_clock
+      const (fun tenants duration seed quantum slo policy recorder real_clock
                  chaos_tenant chaos_tick report_every bench_out dump_ndjson
                  jobs ->
           guard_oom (fun () ->
@@ -879,6 +895,15 @@ let serve_cmd =
                 Printf.eprintf "serve: bad --slo: %s\n" e;
                 2
               | Ok slo ->
+              match
+                match policy with
+                | None -> Ok None
+                | Some s -> Result.map Option.some (Giantsan_policy.Policy.parse s)
+              with
+              | Error e ->
+                Printf.eprintf "serve: bad --policy: %s\n" e;
+                2
+              | Ok policy ->
                 let chaos =
                   Option.map
                     (fun t ->
@@ -908,6 +933,7 @@ let serve_cmd =
                     quantum;
                     jobs;
                     slo;
+                    policy;
                     tenant_cfg;
                     chaos;
                     report_every;
@@ -921,6 +947,17 @@ let serve_cmd =
                    clock=%s\n"
                   tenants duration quantum seed (Service.Slo.to_string slo)
                   (if real_clock then "monotonic" else "virtual");
+                (match policy with
+                | None -> ()
+                | Some spec ->
+                  let module Policy = Giantsan_policy.Policy in
+                  let module Backend = Giantsan_policy.Backend in
+                  Printf.printf "policy: %s\n" (Policy.to_string spec);
+                  List.iteri
+                    (fun i b ->
+                      Printf.printf "policy: tenant-%d -> %s\n" i
+                        (Backend.name b))
+                    (Policy.assign spec ~tenants));
                 let o = Service.Loop.run ~progress:print_endline cfg in
                 print_string (Service.Loop.render_summary o);
                 (match o.Service.Loop.o_chaos with
@@ -930,6 +967,10 @@ let serve_cmd =
                 List.iter
                   (fun (t, d) -> Printf.printf "fault: tenant-%d %s\n" t d)
                   o.Service.Loop.o_faults;
+                List.iter
+                  (fun (t, b) ->
+                    Printf.printf "downshift: tenant-%d -> %s\n" t b)
+                  o.Service.Loop.o_downshifts;
                 List.iter
                   (fun (t, lines) ->
                     Printf.printf
@@ -967,9 +1008,9 @@ let serve_cmd =
                        ());
                   Printf.eprintf "service bench rows written to %s\n" path);
                 if Service.Loop.healthy o then 0 else 1))
-      $ tenants $ duration $ seed $ quantum $ slo $ recorder $ real_clock
-      $ chaos_tenant $ chaos_tick $ report_every $ bench_out $ dump_ndjson
-      $ jobs_arg)
+      $ tenants $ duration $ seed $ quantum $ slo $ policy $ recorder
+      $ real_clock $ chaos_tenant $ chaos_tick $ report_every $ bench_out
+      $ dump_ndjson $ jobs_arg)
 
 let validate_cmd =
   let doc = "Re-validate the ground-truth labels of every generated corpus." in

@@ -5,6 +5,7 @@ type mode =
   | Asan
   | Asanmm
   | Lfp
+  | Pac
   | Giantsan
   | Giantsan_cache_only
   | Giantsan_elim_only
@@ -14,6 +15,7 @@ let mode_name = function
   | Asan -> "ASan"
   | Asanmm -> "ASan--"
   | Lfp -> "LFP"
+  | Pac -> "PAC"
   | Giantsan -> "GiantSan"
   | Giantsan_cache_only -> "GiantSan-CacheOnly"
   | Giantsan_elim_only -> "GiantSan-ElimOnly"
@@ -53,7 +55,10 @@ let caps_of = function
       merge_span = false;
       dedupe = true;
     }
-  | Lfp ->
+  | Lfp | Pac ->
+    (* both derive checks from the pointer's provenance (LFP its bound
+       table, PAC its signature), so both want the anchor threaded
+       through; neither instruments loops or merges spans *)
     {
       anchor = true;
       cache = false;

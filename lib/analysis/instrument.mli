@@ -25,6 +25,10 @@ type mode =
       (** pointer-derived bounds checks at every access; the plan passes the
           base pointer through (LFP needs to know which pointer the bounds
           derive from) but no static optimization applies *)
+  | Pac
+      (** tagged-pointer authentication at every access; like LFP the plan
+          threads the base pointer through (the check authenticates the
+          pointer's signing allocation) and no static optimization applies *)
   | Giantsan  (** merging + promotion + caching + anchors *)
   | Giantsan_cache_only  (** ablation: caching, no merging/promotion *)
   | Giantsan_elim_only  (** ablation: merging/promotion, no caching *)

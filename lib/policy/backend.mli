@@ -1,0 +1,54 @@
+(** The closed set of sanitizer backends the policy engine chooses among,
+    with the static facts a choice needs: overhead factor, detection
+    scores per bug class, and a uniform constructor. *)
+
+type id = Giantsan | Asan | Lfp | Pac | Native
+
+val all : id list
+(** Every backend, in ascending-overhead order (ties in {!Policy} break
+    toward the front of this list). *)
+
+val name : id -> string
+(** Lowercase spec name: "giantsan", "asan", "lfp", "pac", "native". *)
+
+val of_name : string -> id option
+
+val overhead : id -> float
+(** Run-time overhead factor (1.0 = native), calibrated from the
+    published SPEC geomeans each backend models. The policy budget is
+    expressed in this unit. *)
+
+type detection_class =
+  | Oob  (** spatial: heap/stack/global out-of-bounds *)
+  | Uaf  (** temporal: use-after-free while quarantined *)
+  | Uaf_realloc
+      (** temporal, post-recycling: the freed memory already belongs to a
+          new allocation — only the tagged-pointer scheme catches this *)
+  | Double_free
+
+val all_classes : detection_class list
+
+val class_name : detection_class -> string
+(** Spec name: "oob", "uaf", "uaf-realloc", "double-free". *)
+
+val class_of_name : string -> detection_class option
+
+val detection : id -> detection_class -> int
+(** 0 = blind, 1 = partial, 2 = full. The DESIGN.md matrix, scored. *)
+
+(** The backend's metadata plane, exposed so the service tenant can plant
+    faults into it and audit it. *)
+type plane =
+  | Shadow of Giantsan_shadow.Shadow_mem.t  (** GiantSan's folded shadow *)
+  | Sigs of Giantsan_pac.Pac.t  (** PAC's signature table *)
+  | Plain  (** no injectable metadata plane (ASan/LFP/Native here) *)
+
+val create_exposed :
+  id ->
+  Giantsan_memsim.Heap.config ->
+  Giantsan_sanitizer.Sanitizer.t * plane
+(** Build a fresh, fully private runtime for [id] (own heap, own
+    metadata), plus its plane. *)
+
+val create :
+  id -> Giantsan_memsim.Heap.config -> Giantsan_sanitizer.Sanitizer.t

@@ -13,6 +13,7 @@ type t = {
   mutable cache_updates : int;
   mutable underflow_checks : int;
   mutable bounds_checks : int;
+  mutable auth_checks : int;
   mutable errors : int;
 }
 
@@ -52,6 +53,9 @@ let spec : t Metric.spec =
     Metric.field "bounds_checks"
       (fun t -> t.bounds_checks)
       (fun t v -> t.bounds_checks <- v);
+    Metric.field "auth_checks"
+      (fun t -> t.auth_checks)
+      (fun t v -> t.auth_checks <- v);
     Metric.field "errors" (fun t -> t.errors) (fun t v -> t.errors <- v);
   ]
 
@@ -69,6 +73,7 @@ let create () =
     cache_updates = 0;
     underflow_checks = 0;
     bounds_checks = 0;
+    auth_checks = 0;
     errors = 0;
   }
 
@@ -80,10 +85,13 @@ let add acc x = Metric.add spec acc x
    check is settled by exactly one of the two paths), so adding them would
    double-count — see the qcheck partition invariant in test_counters.ml.
    [word_checks] is absent for the same reason: it counts the subset of
-   [fast_checks] settled by the one-word kernel, not new check events. *)
+   [fast_checks] settled by the one-word kernel, not new check events.
+   [auth_checks] (PAC pointer authentications) is a check event of its own
+   — the tagged-pointer backend performs no instruction or region checks,
+   only authentications — so it joins the sum. *)
 let total_checks_fields =
   [ "instr_checks"; "region_checks"; "cache_hits"; "cache_updates";
-    "bounds_checks" ]
+    "bounds_checks"; "auth_checks" ]
 
 let total_checks t = Metric.sum spec ~names:total_checks_fields t
 let to_assoc t = Metric.to_assoc spec t

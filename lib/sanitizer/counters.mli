@@ -22,6 +22,9 @@ type t = {
   mutable cache_updates : int;  (** quasi-bound refreshes (metadata loads) *)
   mutable underflow_checks : int;  (** dedicated negative-offset checks *)
   mutable bounds_checks : int;  (** LFP-style pointer-derived bound checks *)
+  mutable auth_checks : int;
+      (** PAC-style pointer authentications (signature recompute +
+          compare) — the tagged-pointer backend's only check flavour *)
   mutable errors : int;  (** reports produced *)
 }
 
@@ -36,7 +39,7 @@ val add : t -> t -> unit
 val total_checks : t -> int
 (** All check executions regardless of flavour:
     [instr_checks + region_checks + cache_hits + cache_updates +
-    bounds_checks]. [fast_checks] and [slow_checks] are deliberately
+    bounds_checks + auth_checks]. [fast_checks] and [slow_checks] are deliberately
     excluded because they are not independent check executions — they
     partition [region_checks] (every region check is settled by exactly
     one of the fast or the slow path, the invariant

@@ -1,6 +1,8 @@
 module Pool = Giantsan_parallel.Pool
 module Fault = Giantsan_chaos.Fault
 module Table = Giantsan_util.Table
+module Backend = Giantsan_policy.Backend
+module Policy = Giantsan_policy.Policy
 module T = Giantsan_telemetry
 
 type config = {
@@ -11,6 +13,7 @@ type config = {
   arrival_mean : int;
   jobs : int;
   slo : Slo.t;
+  policy : Policy.spec option;
   tenant_cfg : Tenant.config;
   chaos : (int * Fault.shadow_fault * int) option;
   audit_every : int;
@@ -26,6 +29,7 @@ let default_config =
     arrival_mean = 24;
     jobs = 1;
     slo = Slo.none;
+    policy = None;
     tenant_cfg = Tenant.default_config;
     chaos = None;
     audit_every = 8;
@@ -34,6 +38,7 @@ let default_config =
 
 type tenant_summary = {
   s_id : int;
+  s_backend : Backend.id;
   s_state : Tenant.state;
   s_ops : int;
   s_errors : int;
@@ -58,6 +63,7 @@ type outcome = {
   o_ops_per_sec : float;
   o_chaos : (int * string) option;
   o_faults : (int * string) list;
+  o_downshifts : (int * string) list;
   o_dumps : (int * string list) list;
   o_recorders : (int * string list) list;
 }
@@ -73,6 +79,7 @@ let summarize (t : Tenant.t) =
   let span_ns = Tenant.now_ns t in
   {
     s_id = Tenant.id t;
+    s_backend = Tenant.backend t;
     s_state = Tenant.state t;
     s_ops = Tenant.ops t;
     s_errors = Tenant.errors t;
@@ -111,12 +118,45 @@ let quarantine_with_dump t dumps ~detail =
 let run ?progress cfg =
   if cfg.tenants < 1 then invalid_arg "Loop.run: tenants < 1";
   if cfg.ticks < 0 then invalid_arg "Loop.run: ticks < 0";
+  let backends =
+    match cfg.policy with
+    | None -> Array.make cfg.tenants cfg.tenant_cfg.Tenant.backend
+    | Some spec -> Array.of_list (Policy.assign spec ~tenants:cfg.tenants)
+  in
   let tenants =
-    Array.init cfg.tenants (fun id -> Tenant.create ~id ~seed:cfg.seed cfg.tenant_cfg)
+    Array.init cfg.tenants (fun id ->
+        Tenant.create ~id ~seed:cfg.seed
+          { cfg.tenant_cfg with Tenant.backend = backends.(id) })
   in
   let dumps = ref [] in
   let faults = ref [] in
+  let downshifts = ref [] in
   let chaos_note = ref None in
+  (* Escalation endpoint: without a policy a third consecutive breach
+     quarantines; with one, the tenant first walks the downshift ladder —
+     a fresh runtime on a cheaper backend, state back to Healthy, streak
+     restarted — and only quarantines once it breaches at the cheapest
+     rung (PartiSan's degrade-coverage-before-degrading-service move). *)
+  let punish t =
+    let streak = Tenant.breach_streak t + 1 in
+    Tenant.set_breach_streak t streak;
+    let quarantine () =
+      if escalate t streak = Tenant.Quarantined then
+        dumps := (Tenant.id t, Tenant.dump t) :: !dumps
+    in
+    match cfg.policy with
+    | Some spec when streak >= 3 -> (
+      match Policy.downshift spec ~current:(Tenant.backend t) with
+      | Some backend ->
+        downshifts := (Tenant.id t, Backend.name backend) :: !downshifts;
+        Tenant.repartition t ~backend;
+        if Tenant.state t <> Tenant.Healthy then begin
+          Tenant.set_state t Tenant.Healthy;
+          Tenant.record_state t Tenant.Healthy
+        end
+      | None -> quarantine ())
+    | _ -> quarantine ()
+  in
   (* per-tenant snapshots from the previous control-plane pass, for the
      stall detector: a tick that completed nothing is only visible as a
      delta against these *)
@@ -188,10 +228,7 @@ let run ?progress cfg =
                     | Some f -> f
                     | None -> 0.0);
                 };
-              let streak = Tenant.breach_streak t + 1 in
-              Tenant.set_breach_streak t streak;
-              if escalate t streak = Tenant.Quarantined then
-                dumps := (Tenant.id t, Tenant.dump t) :: !dumps
+              punish t
             end
           | Some ws ->
             let breaches =
@@ -208,10 +245,7 @@ let run ?progress cfg =
             end
             else begin
               List.iter (Tenant.record_breach t) breaches;
-              let streak = Tenant.breach_streak t + 1 in
-              Tenant.set_breach_streak t streak;
-              if escalate t streak = Tenant.Quarantined then
-                dumps := (Tenant.id t, Tenant.dump t) :: !dumps
+              punish t
             end)
       tenants;
     Array.iter
@@ -255,6 +289,7 @@ let run ?progress cfg =
     o_ops_per_sec = List.fold_left (fun a s -> a +. s.s_ops_per_sec) 0.0 summaries;
     o_chaos = !chaos_note;
     o_faults = List.rev !faults;
+    o_downshifts = List.rev !downshifts;
     o_dumps = List.rev !dumps;
     o_recorders =
       Array.to_list (Array.map (fun t -> (Tenant.id t, Tenant.dump t)) tenants);
@@ -267,6 +302,7 @@ let render_summary o =
   let row s =
     [
       Printf.sprintf "tenant-%d" s.s_id;
+      Backend.name s.s_backend;
       Tenant.state_name s.s_state;
       string_of_int s.s_ops;
       string_of_int s.s_errors;
@@ -281,6 +317,7 @@ let render_summary o =
   let global =
     [
       "global";
+      "-";
       (if healthy o then "healthy" else "degraded");
       string_of_int o.o_ops;
       string_of_int o.o_errors;
@@ -293,7 +330,10 @@ let render_summary o =
     ]
   in
   let header =
-    [ "scope"; "state"; "ops"; "err"; "shed"; "breach"; "p50"; "p99"; "p999"; "ops/s" ]
+    [
+      "scope"; "backend"; "state"; "ops"; "err"; "shed"; "breach"; "p50";
+      "p99"; "p999"; "ops/s";
+    ]
   in
   Table.render ((header :: List.map row o.o_tenants) @ [ global ])
 

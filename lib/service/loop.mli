@@ -26,6 +26,12 @@ type config = {
   arrival_mean : int;  (** mean arrivals per tenant per tick *)
   jobs : int;  (** pool width for the serve phase *)
   slo : Slo.t;
+  policy : Giantsan_policy.Policy.spec option;
+      (** when set: initial backends come from [Policy.assign], and a
+          tenant that reaches the quarantine rung of the escalation ladder
+          is instead {!Tenant.repartition}ed onto [Policy.downshift] of
+          its current backend (quarantine only once the cheapest rung
+          breaches too) *)
   tenant_cfg : Tenant.config;
   chaos : (int * Giantsan_chaos.Fault.shadow_fault * int) option;
       (** [(tenant, fault, at_tick)]: plant [fault] into exactly that
@@ -36,10 +42,12 @@ type config = {
 
 val default_config : config
 (** 4 tenants, seed 7, 64 ticks, quantum 32, arrivals 24/tick, jobs 1,
-    no SLO, {!Tenant.default_config}, no chaos, audit every 8 ticks. *)
+    no SLO, no policy, {!Tenant.default_config}, no chaos, audit every 8
+    ticks. *)
 
 type tenant_summary = {
   s_id : int;
+  s_backend : Giantsan_policy.Backend.id;  (** backend at end of run *)
   s_state : Tenant.state;
   s_ops : int;
   s_errors : int;
@@ -66,6 +74,8 @@ type outcome = {
           each against its own clock, so rates add *)
   o_chaos : (int * string) option;  (** planted fault, human-readable *)
   o_faults : (int * string) list;  (** audit detections, in tick order *)
+  o_downshifts : (int * string) list;
+      (** policy downshifts [(tenant, new backend)], in tick order *)
   o_dumps : (int * string list) list;
       (** flight-recorder NDJSON dumped at each quarantine/fault *)
   o_recorders : (int * string list) list;

@@ -4,11 +4,12 @@ module Memobj = Giantsan_memsim.Memobj
 module Shadow_mem = Giantsan_shadow.Shadow_mem
 module State_code = Giantsan_core.State_code
 module Folding = Giantsan_core.Folding
-module Gs_runtime = Giantsan_core.Gs_runtime
 module San = Giantsan_sanitizer.Sanitizer
 module Report = Giantsan_sanitizer.Report
 module Selfcheck = Giantsan_chaos.Selfcheck
 module Fault = Giantsan_chaos.Fault
+module Backend = Giantsan_policy.Backend
+module Pac = Giantsan_pac.Pac
 module T = Giantsan_telemetry
 
 type state = Healthy | Breached | Degraded | Quarantined
@@ -21,6 +22,7 @@ let state_name = function
 
 type config = {
   heap : Heap.config;
+  backend : Backend.id;
   virtual_clock : bool;
   window_ns : int;
   windows : int;
@@ -31,6 +33,7 @@ type config = {
 let default_config =
   {
     heap = { Heap.arena_size = 256 * 1024; redzone = 16; quarantine_budget = 16 * 1024 };
+    backend = Backend.Giantsan;
     virtual_clock = true;
     (* one virtual op costs ~30-150 ns, a tick serves ~32 ops: a 10 us
        window closes every ~7 ticks, so a default run exercises the
@@ -54,8 +57,9 @@ type t = {
   cfg : config;
   rng : Rng.t;  (* request contents + latency jitter, one stream *)
   arrival_rng : Rng.t;  (* arrival process, drawn by the control plane *)
-  san : San.t;
-  shadow : Shadow_mem.t;
+  mutable backend : Backend.id;
+  mutable san : San.t;
+  mutable plane : Backend.plane;
   clock : T.Clock.t;
   lat_total : T.Latency.t;
   lat_span : T.Latency.t;  (* since the last watchdog poll *)
@@ -76,8 +80,8 @@ type t = {
   mutable misfold : Folding.fault option;
 }
 
-let create ~id ~seed config =
-  let san, shadow = Gs_runtime.create_exposed config.heap in
+let create ~id ~seed (config : config) =
+  let san, plane = Backend.create_exposed config.backend config.heap in
   {
     t_id = id;
     cfg = config;
@@ -86,8 +90,9 @@ let create ~id ~seed config =
        worker domains) never share a cursor *)
     rng = Rng.create ((seed * 2_147_483_629) + (id * 2) + 1);
     arrival_rng = Rng.create ((seed * 1_000_003) + (id * 2));
+    backend = config.backend;
     san;
-    shadow;
+    plane;
     clock =
       (if config.virtual_clock then T.Clock.virtual_ () else T.Clock.monotonic ());
     lat_total = T.Latency.create (Printf.sprintf "tenant-%d" id);
@@ -110,6 +115,7 @@ let create ~id ~seed config =
   }
 
 let id t = t.t_id
+let backend t = t.backend
 let state t = t.state
 let set_state t s = t.state <- s
 let now_ns t = T.Clock.now_ns t.clock
@@ -357,29 +363,97 @@ let record_fault t ~detail =
 (* Chaos integration                                                   *)
 (* ------------------------------------------------------------------ *)
 
-let plant_fault t fault =
+(* The shadow faults of the chaos plane translate per metadata plane: the
+   folded shadow takes them literally; the PAC signature table maps byte
+   corruption to a tag forge and a stale-free plant to a stolen strip; a
+   plane-less backend absorbs the fault (nothing to corrupt — which is
+   itself a finding the chaos report records as "absorbed"). *)
+let plant_shadow_fault t shadow fault =
   match fault with
   | Fault.Bit_flip { pick; mask } ->
-    let seg = pick mod Shadow_mem.segments t.shadow in
-    Shadow_mem.poke t.shadow seg
-      (Shadow_mem.peek t.shadow seg lxor (mask land 0xff));
+    let seg = pick mod Shadow_mem.segments shadow in
+    Shadow_mem.poke shadow seg
+      (Shadow_mem.peek shadow seg lxor (mask land 0xff));
     Printf.sprintf "bit-flip x%02x at seg %d" (mask land 0xff) seg
   | Fault.Stale_free { pick } ->
-    let seg = pick mod Shadow_mem.segments t.shadow in
-    Shadow_mem.poke t.shadow seg State_code.freed;
+    let seg = pick mod Shadow_mem.segments shadow in
+    Shadow_mem.poke shadow seg State_code.freed;
     Printf.sprintf "stale free code at seg %d" seg
   | Fault.Overclaim_code { pick } ->
-    let seg = pick mod Shadow_mem.segments t.shadow in
-    Shadow_mem.poke t.shadow seg State_code.good;
+    let seg = pick mod Shadow_mem.segments shadow in
+    Shadow_mem.poke shadow seg State_code.good;
     Printf.sprintf "overclaim at seg %d" seg
   | Fault.Misfold { degree } ->
     t.misfold <- Some (Folding.Overstate_last degree);
     Printf.sprintf "misfold armed d=%d" degree
 
+let plant_sig_fault sigs fault =
+  let forge ~pick ~mask =
+    match Pac.forge sigs ~pick ~mask with
+    | Some base -> Printf.sprintf "tag-forge at base %d" base
+    | None -> "tag-forge absorbed (no live signatures)"
+  in
+  match fault with
+  | Fault.Bit_flip { pick; mask } -> forge ~pick ~mask
+  | Fault.Overclaim_code { pick } -> forge ~pick ~mask:(pick lor 1)
+  | Fault.Stale_free { pick } -> (
+    match Pac.drop sigs ~pick with
+    | Some base -> Printf.sprintf "stolen strip at base %d" base
+    | None -> "stolen strip absorbed (no live signatures)")
+  | Fault.Misfold { degree } ->
+    Printf.sprintf "misfold absorbed (no folded shadow) d=%d" degree
+
+let plant_fault t fault =
+  match t.plane with
+  | Backend.Shadow shadow -> plant_shadow_fault t shadow fault
+  | Backend.Sigs sigs -> plant_sig_fault sigs fault
+  | Backend.Plain -> "fault absorbed (no metadata plane)"
+
+(* The PAC plane has no shadow to diff against the oracle; instead the
+   audit recomputes every stored PAC (catches forges) and then sweeps the
+   slot table checking every live slot still holds a signature (catches
+   stolen strips, which Pac.audit alone cannot see). *)
 let audit t =
-  match Selfcheck.run ~heap:t.san.San.heap ~shadow:t.shadow with
-  | [] -> None
-  | m :: _ -> Some (Selfcheck.mismatch_to_string m)
+  match t.plane with
+  | Backend.Shadow shadow -> (
+    match Selfcheck.run ~heap:t.san.San.heap ~shadow with
+    | [] -> None
+    | m :: _ -> Some (Selfcheck.mismatch_to_string m))
+  | Backend.Sigs sigs -> (
+    match Pac.audit sigs with
+    | Some _ as detail -> detail
+    | None ->
+      let missing = ref None in
+      Array.iter
+        (fun slot ->
+          match slot with
+          | Some (base, _) when !missing = None && not (Pac.has sigs ~base) ->
+            missing := Some (Printf.sprintf "live slot base %d unsigned" base)
+          | _ -> ())
+        t.slots;
+      !missing)
+  | Backend.Plain -> None
+
+let repartition t ~backend =
+  (* the queued requests were generated against the old arena's slots;
+     shed them (counted) instead of serving them against a heap that no
+     longer holds those objects *)
+  t.shed <- t.shed + Queue.length t.queue;
+  Queue.clear t.queue;
+  Array.fill t.slots 0 n_slots None;
+  t.misfold <- None;
+  t.breach_streak <- 0;
+  let san, plane = Backend.create_exposed backend t.cfg.heap in
+  t.backend <- backend;
+  t.san <- san;
+  t.plane <- plane;
+  push_event t
+    (T.Event.Tenant_backend
+       {
+         tenant = t.t_id;
+         backend = Backend.name backend;
+         t_ns = T.Clock.now_ns t.clock;
+       })
 
 let dump t =
   T.Export.ndjson_lines (T.Ring.to_seq_list t.recorder)

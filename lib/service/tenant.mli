@@ -24,6 +24,8 @@ val state_name : state -> string
 
 type config = {
   heap : Giantsan_memsim.Heap.config;
+  backend : Giantsan_policy.Backend.id;
+      (** which sanitizer runtime guards this tenant's arena *)
   virtual_clock : bool;
   window_ns : int;  (** rate-window width (virtual ns) *)
   windows : int;  (** sliding windows retained for the rate readout *)
@@ -32,14 +34,19 @@ type config = {
 }
 
 val default_config : config
-(** 256 KiB arena, virtual clock, 10 us windows x 8, 64-event recorder,
-    256-request queue. *)
+(** 256 KiB arena, GiantSan backend, virtual clock, 10 us windows x 8,
+    64-event recorder, 256-request queue. *)
 
 type t
 
 val create : id:int -> seed:int -> config -> t
 
 val id : t -> int
+
+val backend : t -> Giantsan_policy.Backend.id
+(** The backend currently serving this tenant (changes on
+    {!repartition}). *)
+
 val state : t -> state
 val set_state : t -> state -> unit
 val now_ns : t -> int
@@ -100,6 +107,14 @@ val poll_windows : t -> window_stats option
 val record_breach : t -> Slo.breach -> unit
 val record_state : t -> state -> unit
 val record_fault : t -> detail:string -> unit
+
+val repartition : t -> backend:Giantsan_policy.Backend.id -> unit
+(** PartiSan-style downshift: rebuild the tenant on [backend] — a fresh
+    private runtime (new arena, new metadata plane), queued requests shed
+    (counted), slots cleared, any armed misfold disarmed, breach streak
+    reset — and record a [Tenant_backend] event. Lifetime counters (ops,
+    errors, shed, breaches, latency histograms) and the request streams
+    carry over, so the run stays a pure function of [(id, seed)]. *)
 
 (** {1 Chaos integration} *)
 

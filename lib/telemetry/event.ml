@@ -38,6 +38,7 @@ type t =
     }
   | Tenant_state of { tenant : int; state : string; t_ns : int }
   | Tenant_fault of { tenant : int; detail : string; t_ns : int }
+  | Tenant_backend of { tenant : int; backend : string; t_ns : int }
 
 let name = function
   | Malloc _ -> "malloc"
@@ -55,6 +56,7 @@ let name = function
   | Slo_breach _ -> "slo_breach"
   | Tenant_state _ -> "tenant_state"
   | Tenant_fault _ -> "tenant_fault"
+  | Tenant_backend _ -> "tenant_backend"
 
 (* Every kind [name] can produce — the strict check-ndjson validator's
    whitelist. Keep in sync with [name] (the pinned telemetry test renders
@@ -64,6 +66,7 @@ let all_names =
     "malloc"; "free"; "access"; "shadow_load"; "cache_hit"; "cache_update";
     "region_check"; "report"; "phase_begin"; "phase_end"; "service_op";
     "service_report"; "slo_breach"; "tenant_state"; "tenant_fault";
+    "tenant_backend";
   ]
 
 let path_name = function Fast -> "fast" | Slow -> "slow"
@@ -126,6 +129,11 @@ let to_json ~seq ev =
     | Tenant_fault { tenant; detail; t_ns } ->
       [
         ("tenant", Json.Int tenant); ("detail", Json.Str detail);
+        ("t_ns", Json.Int t_ns);
+      ]
+    | Tenant_backend { tenant; backend; t_ns } ->
+      [
+        ("tenant", Json.Int tenant); ("backend", Json.Str backend);
         ("t_ns", Json.Int t_ns);
       ]
   in

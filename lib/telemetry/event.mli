@@ -49,12 +49,15 @@ type t =
       (** watchdog escalation: "breached" / "degraded" / "quarantined" *)
   | Tenant_fault of { tenant : int; detail : string; t_ns : int }
       (** a planted or detected fault attributed to one tenant *)
+  | Tenant_backend of { tenant : int; backend : string; t_ns : int }
+      (** policy re-partitioning: the tenant was rebuilt on [backend]
+          (a {!Giantsan_policy.Backend.name}) *)
 
 val name : t -> string
 (** The NDJSON ["ev"] tag: "malloc", "free", "access", "shadow_load",
     "cache_hit", "cache_update", "region_check", "report", "phase_begin",
     "phase_end", "service_op", "service_report", "slo_breach",
-    "tenant_state", "tenant_fault". *)
+    "tenant_state", "tenant_fault", "tenant_backend". *)
 
 val all_names : string list
 (** Every tag [name] can produce — the whitelist the strict

@@ -33,7 +33,39 @@ let check_ndjson ?(lax = false) text =
 (* ------------------------------------------------------------------ *)
 
 let summary_json ?(spans = []) ?(tools = []) () =
-  let tool_json (name, counters, hists) =
+  (* Key the tool rows by name, never by caller position: merge duplicate
+     names (sum counters field-wise, merge histograms) and sort, so a
+     five-backend summary renders identically no matter which backends ran,
+     in what order they registered, or how many instances each spawned. *)
+  let merged = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun (name, counters, hists) ->
+      match Hashtbl.find_opt merged name with
+      | None ->
+        Hashtbl.replace merged name
+          (counters, Histogram.merge_set (Histogram.create_set ()) hists)
+      | Some (acc_counters, acc_hists) ->
+        let sum =
+          List.map
+            (fun (k, v) ->
+              ( k,
+                v
+                + (match List.assoc_opt k counters with
+                  | Some w -> w
+                  | None -> 0) ))
+            acc_counters
+          @ List.filter
+              (fun (k, _) -> not (List.mem_assoc k acc_counters))
+              counters
+        in
+        Hashtbl.replace merged name
+          (sum, Histogram.merge_set acc_hists hists))
+    tools;
+  Hashtbl.iter (fun name _ -> order := name :: !order) merged;
+  let names = List.sort_uniq compare !order in
+  let tool_json name =
+    let counters, hists = Hashtbl.find merged name in
     Json.Obj
       [
         ("tool", Json.Str name);
@@ -46,7 +78,7 @@ let summary_json ?(spans = []) ?(tools = []) () =
     (Json.Obj
        [
          ("schema", Json.Str "giantsan-summary/v1");
-         ("tools", Json.List (List.map tool_json tools));
+         ("tools", Json.List (List.map tool_json names));
          ("spans", Json.List (List.map Span.to_json spans));
        ])
 

@@ -30,7 +30,10 @@ val summary_json :
   string
 (** Metrics snapshot: per-tool aggregated counters and histograms plus the
     completed spans. [tools] entries are (tool name, counters assoc,
-    histogram set). *)
+    histogram set). Rows are keyed by tool name — duplicates are merged
+    (counters summed, histograms merged) and the output is sorted by name,
+    so the document is independent of registration order and stable when a
+    backend is skipped. *)
 
 (** {1 BENCH_giantsan.json} *)
 

@@ -9,6 +9,7 @@ type config =
   | Asan
   | Asanmm
   | Lfp
+  | Pac
   | Giantsan
   | Cache_only
   | Elim_only
@@ -18,11 +19,18 @@ let config_name = function
   | Asan -> "ASan"
   | Asanmm -> "ASan--"
   | Lfp -> "LFP"
+  | Pac -> "PAC"
   | Giantsan -> "GiantSan"
   | Cache_only -> "CacheOnly"
   | Elim_only -> "EliminationOnly"
 
 let all_configs = [ Native; Giantsan; Asan; Asanmm; Lfp; Cache_only; Elim_only ]
+
+(* The bench sweep's configuration list: the paper-reproduction set plus
+   the PAC backend. Kept separate from [all_configs] so the pinned sweep /
+   fuzz / chaos expectations (which enumerate the paper's tools) stay
+   byte-stable. *)
+let bench_configs = all_configs @ [ Pac ]
 
 let heap_config =
   {
@@ -36,6 +44,7 @@ let make_sanitizer ?(heap = heap_config) = function
   | Asan -> Giantsan_asan.Asan_runtime.create heap
   | Asanmm -> Giantsan_asan.Asan_runtime.create_named "ASan--" heap
   | Lfp -> Giantsan_lfp.Lfp_runtime.create heap
+  | Pac -> Giantsan_pac.Pac_runtime.create heap
   | Giantsan -> Giantsan_core.Gs_runtime.create heap
   | Cache_only ->
     Giantsan_core.Gs_runtime.create_variant ~name:"GiantSan-CacheOnly"
@@ -49,6 +58,7 @@ let instrument_mode = function
   | Asan -> Instrument.Asan
   | Asanmm -> Instrument.Asanmm
   | Lfp -> Instrument.Lfp
+  | Pac -> Instrument.Pac
   | Giantsan -> Instrument.Giantsan
   | Cache_only -> Instrument.Giantsan_cache_only
   | Elim_only -> Instrument.Giantsan_elim_only

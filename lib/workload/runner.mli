@@ -7,18 +7,24 @@ type config =
   | Asan
   | Asanmm
   | Lfp
+  | Pac  (** tagged-pointer authentication backend (lib/pac) *)
   | Giantsan
   | Cache_only  (** ablation: GiantSan with history caching only *)
   | Elim_only  (** ablation: GiantSan with check elimination only *)
       (** The sanitizer configurations of Table 2 ([Native] through
-          [Giantsan]) plus the §5.2 ablations. *)
+          [Giantsan]) plus the §5.2 ablations and the PAC backend. *)
 
 val config_name : config -> string
 (** Stable lowercase name used in reports, telemetry and NDJSON
     (["native"], ["asan"], ["asan--"], ["lfp"], ["giantsan"], ...). *)
 
 val all_configs : config list
-(** Native first, then the sanitizers, then the two ablations. *)
+(** Native first, then the sanitizers, then the two ablations. [Pac] is
+    deliberately absent: the pinned sweep / fuzz / chaos expectations
+    enumerate the paper's tool set and must stay byte-stable. *)
+
+val bench_configs : config list
+(** [all_configs] plus [Pac] — what the bench profile sweep runs. *)
 
 val make_sanitizer :
   ?heap:Giantsan_memsim.Heap.config -> config -> Giantsan_sanitizer.Sanitizer.t

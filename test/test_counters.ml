@@ -24,9 +24,10 @@ let gen_counters =
         c.Counters.cache_updates <- v 8;
         c.Counters.underflow_checks <- v 9;
         c.Counters.bounds_checks <- v 10;
-        c.Counters.errors <- v 11;
+        c.Counters.auth_checks <- v 11;
+        c.Counters.errors <- v 12;
         c)
-      (list_repeat 12 (int_bound 10_000)))
+      (list_repeat 13 (int_bound 10_000)))
 
 let arb_counters = QCheck.make gen_counters
 
@@ -69,16 +70,17 @@ let test_add_does_not_mutate_rhs =
 
 (* [total_checks] counts each check event once: instruction checks, region
    checks (fast/slow only partition those, so they must NOT be added on
-   top), cache consultations and bound-table checks. Derived through the
-   metric spec, so a new field can't silently join or leave the sum. *)
+   top), cache consultations, bound-table checks and pointer
+   authentications. Derived through the metric spec, so a new field can't
+   silently join or leave the sum. *)
 let test_total_checks_definition =
-  Helpers.q "total_checks sums exactly the five check counters" arb_counters
+  Helpers.q "total_checks sums exactly the six check counters" arb_counters
     (fun c ->
       let a = Counters.to_assoc c in
       let v k = List.assoc k a in
       Counters.total_checks c
       = v "instr_checks" + v "region_checks" + v "cache_hits"
-        + v "cache_updates" + v "bounds_checks")
+        + v "cache_updates" + v "bounds_checks" + v "auth_checks")
 
 let test_spec_matches_assoc =
   Helpers.q "the metric spec and to_assoc agree field by field" arb_counters

@@ -524,6 +524,7 @@ let one_of_each =
       { tenant = 1; slo = "p999"; value = 9000.0; limit = 5000.0; t_ns = 1002 };
     Event.Tenant_state { tenant = 1; state = "degraded"; t_ns = 1003 };
     Event.Tenant_fault { tenant = 1; detail = "seg 8: drift"; t_ns = 1004 };
+    Event.Tenant_backend { tenant = 1; backend = "pac"; t_ns = 1005 };
   ]
 
 let test_every_event_kind_passes_strict =
@@ -566,6 +567,43 @@ let test_unknown_kind_rejected =
       | Ok _ -> Alcotest.fail "lax accepted a negative seq"
       | Error _ -> ())
 
+(* summary.json must key its tool rows by name, not registration order:
+   the same backends reported in any order — or the same backend reported
+   twice (two instances) — must render byte-identically, with duplicate
+   rows merged. This was a real bug: rows used to be labelled by position,
+   so skipping one backend shifted every later label. *)
+let test_summary_keys_rows_by_name =
+  Helpers.qt "summary.json keys tool rows by name, merging duplicates" `Quick
+    (fun () ->
+      let row name checks =
+        (name, [ ("total_checks", checks) ], Histogram.create_set ())
+      in
+      let a = [ row "asan" 5; row "giantsan" 7; row "pac" 2 ] in
+      let b = [ row "pac" 2; row "asan" 5; row "giantsan" 7 ] in
+      Alcotest.(check string) "order-independent"
+        (Export.summary_json ~tools:a ())
+        (Export.summary_json ~tools:b ());
+      let doubled = Export.summary_json ~tools:[ row "pac" 2; row "pac" 3 ] () in
+      Alcotest.(check bool) "duplicate names merge (counters summed)" true
+        (Helpers.contains doubled "\"total_checks\":5");
+      let occurrences needle hay =
+        let nl = String.length needle in
+        let rec go i n =
+          if i + nl > String.length hay then n
+          else if String.sub hay i nl = needle then go (i + 1) (n + 1)
+          else go (i + 1) n
+        in
+        go 0 0
+      in
+      Alcotest.(check int) "merged row appears exactly once" 1
+        (occurrences "\"tool\":\"pac\"" doubled);
+      (* dropping a backend must not relabel the others *)
+      let without = Export.summary_json ~tools:[ row "asan" 5; row "pac" 2 ] () in
+      Alcotest.(check bool) "asan row survives giantsan's absence" true
+        (Helpers.contains without "\"tool\":\"asan\"");
+      Alcotest.(check bool) "pac row survives giantsan's absence" true
+        (Helpers.contains without "\"tool\":\"pac\""))
+
 let suite =
   ( "telemetry",
     [
@@ -602,4 +640,5 @@ let suite =
       test_window_rates;
       test_every_event_kind_passes_strict;
       test_unknown_kind_rejected;
+      test_summary_keys_rows_by_name;
     ] )
