@@ -427,6 +427,131 @@ let fig11_stats () =
         tools)
     kernels
 
+(* Fuzz-mode throughput rows: per-exec reset cost under the two execution
+   profiles, for every policy backend. One measured pass drives both
+   projections — the engine's determinism tests prove a restored sanitizer
+   is event-count-identical to a fresh one, so the exec-side event counts
+   are shared and only the reset term differs:
+
+     rebuild     charges a full construction per exec (allocate + initialise
+                 the arena, fill the whole shadow plane / signature table);
+     persistent  charges one construction up front, then per exec a bulk
+                 arena blit plus the journal-guided shadow repair
+                 ([Shadow_mem.journal_segments]), the PAC table rewind
+                 (signs delta) and the object-map rewind (allocator events).
+
+   Everything is event counts through the calibrated weight table — no
+   wall-clock — so the rows reproduce byte-identically and the perf gate
+   pins them. [bp_ops] is the number of execs, making the exported ns/op a
+   per-exec cost: execs/sec = 1e9 / ns_per_op, which is what the
+   fuzzmode-gate CLI asserts the persistent/rebuild speedup on. *)
+let fuzzmode_stats () =
+  let module Backend = Giantsan_policy.Backend in
+  let module Cost_model = Giantsan_workload.Cost_model in
+  let module Difftest = Giantsan_bugs.Difftest in
+  let module Scenario = Giantsan_bugs.Scenario in
+  let module Pac = Giantsan_pac.Pac in
+  let violations =
+    [
+      Difftest.V_overflow; Difftest.V_underflow; Difftest.V_far_jump;
+      Difftest.V_uaf; Difftest.V_double_free; Difftest.V_mid_free;
+    ]
+  in
+  let batch =
+    List.init 24 (fun i ->
+        if i mod 2 = 0 then Difftest.gen_clean ~seed:i
+        else
+          Difftest.gen_buggy ~seed:i
+            (List.nth violations (i / 2 mod List.length violations)))
+  in
+  let n = List.length batch in
+  (* reset-model constants, in the same abstract-ns currency as the
+     calibrated weights: a fresh construction touches every byte once
+     (calloc-style zeroing plus poisoning), a restore is a bulk memcpy over
+     already-mapped pages — an order of magnitude cheaper per byte — and a
+     metadata-entry rewind costs one allocator-bookkeeping event *)
+  let w = Cost_model.default in
+  let w_init = w.Cost_model.w_poison_segment in
+  let w_blit = w_init /. 16.0 in
+  let arena_bytes = config.Memsim.Heap.arena_size in
+  List.map
+    (fun id ->
+      let san, plane = Backend.create_exposed id config in
+      san.San.snapshot ();
+      let loads0 = san.San.shadow_loads ()
+      and stores0 = san.San.shadow_stores () in
+      let signs0 =
+        match plane with Backend.Sigs p -> Pac.signs p | _ -> 0
+      in
+      let exec_counters = Counters.create () in
+      let ops = ref 0
+      and shadow_loads = ref 0
+      and shadow_stores = ref 0
+      and journal_total = ref 0
+      and signs_total = ref 0 in
+      List.iter
+        (fun sc ->
+          (try ignore (Scenario.run san sc) with
+          | Failure _ | Out_of_memory -> ());
+          ops := !ops + List.length sc.Scenario.sc_steps;
+          shadow_loads := !shadow_loads + (san.San.shadow_loads () - loads0);
+          shadow_stores :=
+            !shadow_stores + (san.San.shadow_stores () - stores0);
+          (match plane with
+          | Backend.Shadow m ->
+            journal_total := !journal_total + Shadow_mem.journal_segments m
+          | Backend.Sigs p ->
+            signs_total := !signs_total + (Pac.signs p - signs0)
+          | Backend.Plain -> ());
+          Counters.add exec_counters san.San.counters;
+          san.San.restore ())
+        batch;
+      let shadow_segs =
+        match plane with Backend.Shadow m -> Shadow_mem.segments m | _ -> 0
+      in
+      let exec_ns =
+        Cost_model.simulated_ns
+          {
+            Cost_model.ops = !ops;
+            shadow_loads = !shadow_loads;
+            counters = exec_counters;
+            is_sanitized = id <> Backend.Native;
+            is_lfp = id = Backend.Lfp;
+            stack_fraction = 0.0;
+          }
+      in
+      let construct_ns =
+        float_of_int (arena_bytes + shadow_segs) *. w_init
+      in
+      let map_events =
+        exec_counters.Counters.mallocs + exec_counters.Counters.frees
+      in
+      let restore_ns =
+        (float_of_int (n * arena_bytes) *. w_blit)
+        +. (float_of_int !journal_total *. w_blit)
+        +. (float_of_int (!signs_total + map_events) *. w.Cost_model.w_free)
+      in
+      let row profile sim_ns =
+        {
+          Telemetry.Export.bp_profile = profile;
+          bp_config = Backend.name id;
+          bp_sim_ns = sim_ns;
+          bp_ops = n;
+          bp_shadow_loads = !shadow_loads;
+          bp_shadow_stores = !shadow_stores;
+          bp_region_checks = exec_counters.Counters.region_checks;
+          bp_fast_checks = exec_counters.Counters.fast_checks;
+          bp_slow_checks = exec_counters.Counters.slow_checks;
+          bp_word_checks = exec_counters.Counters.word_checks;
+        }
+      in
+      [
+        row "fuzzmode.rebuild" ((float_of_int n *. construct_ns) +. exec_ns);
+        row "fuzzmode.persistent" (construct_ns +. exec_ns +. restore_ns);
+      ])
+    Backend.all
+  |> List.concat
+
 (* Sustained-traffic numbers from the multi-tenant service loop under the
    virtual clock: fully deterministic (latencies are synthesized from the
    sanitizer's own event counts), so the rows are identical across machines
@@ -476,6 +601,7 @@ let () =
     let profiles =
       Telemetry.Span.with_span "bench:profile-sweep" profile_stats
       @ Telemetry.Span.with_span "bench:fig11-sweep" fig11_stats
+      @ Telemetry.Span.with_span "bench:fuzzmode-sweep" fuzzmode_stats
     in
     let service = Telemetry.Span.with_span "bench:service" service_stats in
     let body =

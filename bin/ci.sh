@@ -41,6 +41,24 @@ if ! cmp -s "$tmpdir/run1.txt" "$tmpdir/run2.txt"; then
 fi
 echo "byte-identical summaries across two seeded runs"
 
+echo "== fuzz-mode smoke (persistent vs rebuild, seed 42) =="
+# The fuzz-mode contract: persistent execution (snapshot once, restore
+# between execs) must reach the exact same verdicts as rebuilding the
+# sanitizers from scratch per exec. Everything but the mode banner line
+# must be byte-identical — coverage, corpus, divergences, findings.
+dune exec bin/main.exe -- fuzz --runs 800 --seed 42 --mode persistent \
+  -o "$tmpdir/fuzz_persistent.txt"
+dune exec bin/main.exe -- fuzz --runs 800 --seed 42 --mode rebuild \
+  -o "$tmpdir/fuzz_rebuild.txt"
+grep -v 'mode=' "$tmpdir/fuzz_persistent.txt" > "$tmpdir/fuzz_p.norm"
+grep -v 'mode=' "$tmpdir/fuzz_rebuild.txt" > "$tmpdir/fuzz_r.norm"
+if ! cmp -s "$tmpdir/fuzz_p.norm" "$tmpdir/fuzz_r.norm"; then
+  echo "FAIL: persistent and rebuild fuzz modes reached different verdicts" >&2
+  diff "$tmpdir/fuzz_p.norm" "$tmpdir/fuzz_r.norm" >&2 || true
+  exit 1
+fi
+echo "byte-identical verdicts across persistent and rebuild modes"
+
 echo "== telemetry trace smoke =="
 dune exec bin/main.exe -- trace test/corpus/regressions/uaf_then_double_free.scn \
   > "$tmpdir/trace1.ndjson"
@@ -247,6 +265,14 @@ echo "== fig11 word-path gate =="
 # fall behind ASan's again (the §5.4 one-sided-summary regression the MRU
 # window history fixed).
 dune exec bin/main.exe -- fig11-gate "$tmpdir/bench.json"
+
+echo "== fuzz-mode throughput gate =="
+# The fuzzmode.* bench rows: per backend, event counts must be identical
+# between the rebuild and persistent projections (the in-JSON witness of
+# mode equivalence), persistent must never be slower, and on giantsan the
+# persistent profile must clear the 5x execs/sec floor the fuzz-mode
+# design promises.
+dune exec bin/main.exe -- fuzzmode-gate "$tmpdir/bench.json"
 
 echo "== perf gate under sharding (--jobs 2) =="
 # sim_ns is derived from deterministic event counts, never wall-clock, so

@@ -191,12 +191,26 @@ let fuzz_cmd =
             "Write every (shrunk) finding to $(docv) as a replayable corpus \
              file.")
   in
+  let mode =
+    Arg.(
+      value
+      & opt (enum [ ("rebuild", Giantsan_fuzz.Exec.Rebuild);
+                    ("persistent", Giantsan_fuzz.Exec.Persistent) ])
+          Giantsan_fuzz.Exec.Rebuild
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:
+            "Execution profile: $(b,rebuild) constructs a fresh sanitizer \
+             per exec; $(b,persistent) snapshots each tool once and \
+             restores between execs (incremental shadow re-poisoning, PAC \
+             salt rollback). Verdicts and findings are identical.")
+  in
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(
-      const (fun seed runs minimize inject_misfold corpus_dir out ->
+      const (fun seed runs minimize inject_misfold corpus_dir mode out ->
           let summary =
             Giantsan_fuzz.Engine.run
-              { Giantsan_fuzz.Engine.runs; seed; minimize; inject_misfold }
+              { Giantsan_fuzz.Engine.runs; seed; minimize; inject_misfold;
+                mode }
           in
           let body = Giantsan_fuzz.Engine.summary_to_string summary in
           print_string body;
@@ -214,7 +228,8 @@ let fuzz_cmd =
                   f.Giantsan_fuzz.Engine.f_scenario)
               summary.Giantsan_fuzz.Engine.s_findings);
           if summary.Giantsan_fuzz.Engine.s_divergent_runs > 0 then 1 else 0)
-      $ seed $ runs $ minimize $ inject_misfold $ corpus_dir $ out_file)
+      $ seed $ runs $ minimize $ inject_misfold $ corpus_dir $ mode
+      $ out_file)
 
 let replay_cmd =
   let doc =
@@ -227,15 +242,26 @@ let replay_cmd =
       & pos 0 string "test/corpus/regressions"
       & info [] ~docv:"DIR" ~doc:"Corpus directory.")
   in
+  let mode =
+    Arg.(
+      value
+      & opt (enum [ ("rebuild", Giantsan_fuzz.Exec.Rebuild);
+                    ("persistent", Giantsan_fuzz.Exec.Persistent) ])
+          Giantsan_fuzz.Exec.Rebuild
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:
+            "Execution profile (see $(b,fuzz --mode)). Replay output must \
+             be byte-identical between modes — the CI leg compares them.")
+  in
   Cmd.v (Cmd.info "replay" ~doc)
     Term.(
-      const (fun dir ->
+      const (fun dir mode ->
           if not (Sys.file_exists dir && Sys.is_directory dir) then begin
             Printf.eprintf "replay: no such corpus directory: %s\n" dir;
             2
           end
           else begin
-            let results = Giantsan_fuzz.Engine.replay ~dir in
+            let results = Giantsan_fuzz.Engine.replay ~mode ~dir () in
             let bad = ref 0 in
             List.iter
               (fun (name, problems) ->
@@ -249,7 +275,7 @@ let replay_cmd =
             Printf.printf "%d file(s), %d failing\n" (List.length results) !bad;
             if !bad > 0 then 1 else 0
           end)
-      $ dir)
+      $ dir $ mode)
 
 let trace_cmd =
   let doc =
@@ -471,6 +497,144 @@ let fig11_gate_cmd =
                   1
                 end)))
       $ file $ min_ratio)
+
+let fuzzmode_gate_cmd =
+  let doc =
+    "Gate the fuzz-mode throughput rows of a bench JSON: for every backend \
+     the persistent and rebuild rows must carry identical event counts \
+     (mode equivalence — a restored sanitizer is indistinguishable from a \
+     fresh one) and persistent must be no slower per exec; on the giantsan \
+     backend the persistent/rebuild execs-per-second speedup must reach \
+     $(b,--min-speedup). Exits 1 with named violations otherwise."
+  in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Bench JSON with fuzzmode.* profile rows.")
+  in
+  let min_speedup =
+    Arg.(
+      value & opt float 5.0
+      & info [ "min-speedup" ] ~docv:"X"
+          ~doc:
+            "Minimum persistent-over-rebuild execs/sec ratio on the \
+             giantsan backend.")
+  in
+  Cmd.v
+    (Cmd.info "fuzzmode-gate" ~doc)
+    Term.(
+      const (fun file min_speedup ->
+          match In_channel.with_open_text file In_channel.input_all with
+          | exception Sys_error e ->
+            Printf.eprintf "fuzzmode-gate: %s\n" e;
+            2
+          | text -> (
+            match Giantsan_telemetry.Export.parse_bench_profiles text with
+            | Error e ->
+              Printf.eprintf "fuzzmode-gate: %s: %s\n" file e;
+              2
+            | Ok rows -> (
+              let module E = Giantsan_telemetry.Export in
+              let find profile config =
+                List.find_opt
+                  (fun g -> g.E.g_profile = profile && g.E.g_config = config)
+                  rows
+              in
+              let configs =
+                List.sort_uniq compare
+                  (List.filter_map
+                     (fun g ->
+                       if
+                         g.E.g_profile = "fuzzmode.rebuild"
+                         || g.E.g_profile = "fuzzmode.persistent"
+                       then Some g.E.g_config
+                       else None)
+                     rows)
+              in
+              match (configs, find "fuzzmode.rebuild" "giantsan") with
+              | [], _ | _, None ->
+                Printf.eprintf
+                  "fuzzmode-gate: %s has no fuzzmode.* rows for the giantsan \
+                   backend\n"
+                  file;
+                2
+              | _ -> (
+                let failures =
+                  List.concat_map
+                    (fun config ->
+                      match
+                        ( find "fuzzmode.rebuild" config,
+                          find "fuzzmode.persistent" config )
+                      with
+                      | None, _ | _, None ->
+                        [
+                          Printf.sprintf
+                            "backend %s is missing one of its two mode rows"
+                            config;
+                        ]
+                      | Some rb, Some ps ->
+                        (if rb.E.g_counts <> ps.E.g_counts then
+                           [
+                             Printf.sprintf
+                               "backend %s: event counts differ between \
+                                modes — a restored run is not equivalent \
+                                to a fresh one"
+                               config;
+                           ]
+                         else [])
+                        @
+                        if ps.E.g_ns_per_op > rb.E.g_ns_per_op then
+                          [
+                            Printf.sprintf
+                              "backend %s: persistent %.1f ns/exec is \
+                               slower than rebuild %.1f"
+                              config ps.E.g_ns_per_op rb.E.g_ns_per_op;
+                          ]
+                        else [])
+                    configs
+                  @
+                  match
+                    ( find "fuzzmode.rebuild" "giantsan",
+                      find "fuzzmode.persistent" "giantsan" )
+                  with
+                  | Some rb, Some ps
+                    when ps.E.g_ns_per_op > 0.0
+                         && rb.E.g_ns_per_op /. ps.E.g_ns_per_op < min_speedup
+                    ->
+                    [
+                      Printf.sprintf
+                        "giantsan speedup %.2fx below the %.2fx floor \
+                         (rebuild %.0f execs/sec, persistent %.0f)"
+                        (rb.E.g_ns_per_op /. ps.E.g_ns_per_op)
+                        min_speedup
+                        (1e9 /. rb.E.g_ns_per_op)
+                        (1e9 /. ps.E.g_ns_per_op);
+                    ]
+                  | _ -> []
+                in
+                match failures with
+                | [] ->
+                  let rb = Option.get (find "fuzzmode.rebuild" "giantsan")
+                  and ps =
+                    Option.get (find "fuzzmode.persistent" "giantsan")
+                  in
+                  Printf.printf
+                    "fuzzmode gate OK: %d backend(s), counts identical \
+                     across modes; giantsan %.0f execs/sec persistent vs \
+                     %.0f rebuild (%.2fx >= %.2fx)\n"
+                    (List.length configs)
+                    (1e9 /. ps.E.g_ns_per_op)
+                    (1e9 /. rb.E.g_ns_per_op)
+                    (rb.E.g_ns_per_op /. ps.E.g_ns_per_op)
+                    min_speedup;
+                  0
+                | _ ->
+                  Printf.eprintf "fuzzmode gate FAILED (%d violation(s)):\n"
+                    (List.length failures);
+                  List.iter (Printf.eprintf "  %s\n") failures;
+                  1))))
+      $ file $ min_speedup)
 
 let sweep_cmd =
   let module Sweep = Giantsan_parallel.Sweep in
@@ -710,7 +874,7 @@ let spec_cmd =
                 for i = 0 to runs - 1 do
                   let run_seed = Giantsan_util.Rng.int rng 1_000_000 in
                   let cname, config = config_of i in
-                  match Refine.run ~config ~seed:run_seed ~steps () with
+                  (match Refine.run ~config ~seed:run_seed ~steps () with
                   | Refine.Equivalent e ->
                     Printf.printf
                       "run %02d seed=%06d config=%-7s equivalent (%d \
@@ -720,6 +884,20 @@ let spec_cmd =
                     incr bad;
                     Printf.printf "run %02d seed=%06d config=%-7s DIVERGED %s\n"
                       i run_seed cname
+                      (Refine.divergence_to_string d));
+                  (* the fuzz-mode snapshot/restore audit rides every
+                     lockstep run: restore must land byte-equal to the
+                     from-scratch rebuild the model embodies *)
+                  match Refine.check_restore ~config ~seed:run_seed ~steps () with
+                  | Refine.Equivalent _ ->
+                    Printf.printf
+                      "run %02d seed=%06d config=%-7s restore-audit ok\n" i
+                      run_seed cname
+                  | Refine.Diverged d ->
+                    incr bad;
+                    Printf.printf
+                      "run %02d seed=%06d config=%-7s RESTORE DIVERGED %s\n" i
+                      run_seed cname
                       (Refine.divergence_to_string d)
                 done;
                 Printf.printf "spec: %d/%d runs equivalent\n" (runs - !bad) runs;
@@ -866,6 +1044,15 @@ let serve_cmd =
       & info [ "report-every" ] ~docv:"TICKS"
           ~doc:"Live summary cadence (0 disables).")
   in
+  let upshift_after =
+    Arg.(
+      value & opt int 4
+      & info [ "upshift-after" ] ~docv:"WINDOWS"
+          ~doc:
+            "With $(b,--policy): repartition a downshifted tenant back \
+             toward its original backend after $(docv) consecutive clean \
+             SLO windows (0 disables the return direction of the ladder).")
+  in
   let bench_out =
     Arg.(
       value
@@ -887,8 +1074,8 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const (fun tenants duration seed quantum slo policy recorder real_clock
-                 chaos_tenant chaos_tick report_every bench_out dump_ndjson
-                 jobs ->
+                 chaos_tenant chaos_tick report_every upshift_after bench_out
+                 dump_ndjson jobs ->
           guard_oom (fun () ->
               match Service.Slo.parse slo with
               | Error e ->
@@ -937,6 +1124,7 @@ let serve_cmd =
                     tenant_cfg;
                     chaos;
                     report_every;
+                    upshift_after;
                   }
                 in
                 (* jobs only to stderr: stdout must diff clean across --jobs *)
@@ -971,6 +1159,10 @@ let serve_cmd =
                   (fun (t, b) ->
                     Printf.printf "downshift: tenant-%d -> %s\n" t b)
                   o.Service.Loop.o_downshifts;
+                List.iter
+                  (fun (t, b) ->
+                    Printf.printf "upshift: tenant-%d -> %s\n" t b)
+                  o.Service.Loop.o_upshifts;
                 List.iter
                   (fun (t, lines) ->
                     Printf.printf
@@ -1009,8 +1201,8 @@ let serve_cmd =
                   Printf.eprintf "service bench rows written to %s\n" path);
                 if Service.Loop.healthy o then 0 else 1))
       $ tenants $ duration $ seed $ quantum $ slo $ policy $ recorder
-      $ real_clock $ chaos_tenant $ chaos_tick $ report_every $ bench_out
-      $ dump_ndjson $ jobs_arg)
+      $ real_clock $ chaos_tenant $ chaos_tick $ report_every $ upshift_after
+      $ bench_out $ dump_ndjson $ jobs_arg)
 
 let validate_cmd =
   let doc = "Re-validate the ground-truth labels of every generated corpus." in
@@ -1033,7 +1225,7 @@ let () =
   let cmds =
     all_cmd :: extras_cmd :: fuzz_cmd :: fuzz_matrix_cmd :: replay_cmd
     :: trace_cmd :: check_ndjson_cmd :: bench_compare_cmd :: fig11_gate_cmd
-    :: sweep_cmd
+    :: fuzzmode_gate_cmd :: sweep_cmd
     :: chaos_cmd :: spec_cmd :: serve_cmd :: validate_cmd
     :: List.map
          (fun id -> experiment_cmd id id)

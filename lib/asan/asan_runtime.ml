@@ -112,6 +112,16 @@ let create_exposed_named name config =
     end
   in
   let check_region ~lo ~hi = region ~base:lo ~lo ~hi ~size:(hi - lo) () in
+  let snapshot, restore =
+    San.snapshot_slot
+      ~cap:(fun () ->
+        (Memsim.Heap.snapshot heap, Shadow_mem.snapshot m,
+         San.counters_copy counters))
+      ~put:(fun (hs, ss, cs) ->
+        Memsim.Heap.restore heap hs;
+        Shadow_mem.restore m ss;
+        San.counters_restore counters cs)
+  in
   let san = {
     San.name;
     heap;
@@ -132,6 +142,8 @@ let create_exposed_named name config =
           ~addr:(cache.San.cache_base + off) ~width);
     flush_cache = (fun _ -> None);
     supports_operation_level = false;
+    snapshot;
+    restore;
   }
   in
   San.Registry.register san;

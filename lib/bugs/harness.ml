@@ -1,14 +1,15 @@
 module Memsim = Giantsan_memsim
 
-type tool = Giantsan | Asan | Asanmm | Lfp
+type tool = Giantsan | Asan | Asanmm | Lfp | Pac
 
 let tool_name = function
   | Giantsan -> "GiantSan"
   | Asan -> "ASan"
   | Asanmm -> "ASan--"
   | Lfp -> "LFP"
+  | Pac -> "PAC"
 
-let all_tools = [ Giantsan; Asan; Asanmm; Lfp ]
+let all_tools = [ Giantsan; Asan; Asanmm; Lfp; Pac ]
 
 let make_sanitizer ?(redzone = 16) ?(quarantine = 16 * 1024) tool =
   let config =
@@ -19,6 +20,7 @@ let make_sanitizer ?(redzone = 16) ?(quarantine = 16 * 1024) tool =
   | Asan -> Giantsan_asan.Asan_runtime.create config
   | Asanmm -> Giantsan_asan.Asan_runtime.create_named "ASan--" config
   | Lfp -> Giantsan_lfp.Lfp_runtime.create config
+  | Pac -> Giantsan_pac.Pac_runtime.create config
 
 let detected ?redzone ?quarantine tool scenario =
   Scenario.run (make_sanitizer ?redzone ?quarantine tool) scenario

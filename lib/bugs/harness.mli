@@ -1,9 +1,13 @@
 (** Detection harness: run scenario corpora under each tool and count. *)
 
-type tool = Giantsan | Asan | Asanmm | Lfp
+type tool = Giantsan | Asan | Asanmm | Lfp | Pac
 
 val tool_name : tool -> string
+
 val all_tools : tool list
+(** Every backend under study, PAC included — the differential fuzzer and
+    the Juliet/CVE detection tables iterate this list, so a backend left
+    out of it is silently uncovered (the bug that kept PAC fuzz-blind). *)
 
 val make_sanitizer :
   ?redzone:int -> ?quarantine:int -> tool -> Giantsan_sanitizer.Sanitizer.t

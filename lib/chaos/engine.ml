@@ -212,6 +212,35 @@ let run_shadow_cell (cell : Fault.cell) fault =
     | None ->
       if exercised then (Silent, "misfolded poisoning unflagged")
       else (Tolerated, "no foldable allocation after injection"))
+  | Fault.Journal_drop { pick } -> (
+    (* the fuzz-mode restore path: snapshot at the injection point, run
+       the scenario tail (every store journals its dirty range), steal one
+       journal entry, restore. The heap and oracle rewind fully but the
+       stolen range keeps its post-snapshot shadow bytes, so the
+       shadow-vs-oracle selfcheck must flag the under-repair — unless the
+       stolen range happened to hold the same bytes as the snapshot, in
+       which case a clean audit is the correct verdict, not a miss. *)
+    if post = [] then
+      (Tolerated, "no steps after injection to dirty the journal")
+    else begin
+      san.San.snapshot ();
+      List.iter (fun s -> ignore (exec_step san slots s)) post;
+      match Shadow_mem.chaos_drop_journal shadow ~pick with
+      | None -> (Tolerated, "journal empty at the restore point")
+      | Some (lo, len) -> (
+        san.San.restore ();
+        match first_mismatch heap shadow with
+        | Some (n, m) ->
+          (Detected,
+           Printf.sprintf
+             "restore under-repaired segs [%d, +%d): %d mismatch(es); %s" lo
+             len n
+             (Selfcheck.mismatch_to_string m))
+        | None ->
+          (Tolerated,
+           Printf.sprintf
+             "stolen range [%d, +%d) matched the snapshot bytes" lo len))
+    end)
 
 (* ---------- plane 2: allocator pressure ---------- *)
 

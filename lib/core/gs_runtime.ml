@@ -164,6 +164,20 @@ let create_exposed_variant ~name ~use_cache ~check_underflow config =
       | None -> None
       | Some addr -> report ~base:cache.San.cache_base ~addr ~size:0 ()
   in
+  let snapshot, restore =
+    San.snapshot_slot
+      ~cap:(fun () ->
+        ( Memsim.Heap.snapshot heap,
+          Shadow_mem.snapshot m,
+          San.counters_copy counters,
+          Hashtbl.copy quarantined_at ))
+      ~put:(fun (hs, ss, cs, qs) ->
+        Memsim.Heap.restore heap hs;
+        Shadow_mem.restore m ss;
+        San.counters_restore counters cs;
+        Hashtbl.reset quarantined_at;
+        Hashtbl.iter (Hashtbl.add quarantined_at) qs)
+  in
   let san =
     {
       San.name;
@@ -180,6 +194,8 @@ let create_exposed_variant ~name ~use_cache ~check_underflow config =
       cached_access;
       flush_cache;
       supports_operation_level = true;
+      snapshot;
+      restore;
     }
   in
   San.Registry.register san;

@@ -8,10 +8,17 @@ type config = {
   seed : int;
   minimize : bool;
   inject_misfold : bool;
+  mode : Exec.mode;
 }
 
 let default_config =
-  { runs = 2000; seed = 0; minimize = true; inject_misfold = false }
+  {
+    runs = 2000;
+    seed = 0;
+    minimize = true;
+    inject_misfold = false;
+    mode = Exec.Rebuild;
+  }
 
 type finding = {
   f_id : string;
@@ -56,6 +63,11 @@ let run config =
   Folding.with_fault
     (if config.inject_misfold then Some (Folding.Overstate_last 1) else None)
     (fun () ->
+      let ctx =
+        match config.mode with
+        | Exec.Rebuild -> None
+        | Exec.Persistent -> Some (Exec.make_ctx ())
+      in
       let rng = Rng.create config.seed in
       let coverage = Coverage.create () in
       let corpus = ref [||] in
@@ -94,7 +106,7 @@ let run config =
         end
       in
       let execute sc =
-        match Exec.run sc with
+        match Exec.run ?ctx sc with
         | Error _ -> incr skipped
         | Ok outcome ->
           incr executed;
@@ -124,7 +136,7 @@ let run config =
          scenarios, no mutation, no guidance *)
       let baseline = Coverage.create () in
       for i = 0 to total_budget - 1 do
-        match Exec.run (random_scenario ~seed:config.seed i) with
+        match Exec.run ?ctx (random_scenario ~seed:config.seed i) with
         | Ok outcome -> ignore (Coverage.add baseline outcome.Exec.features)
         | Error _ -> ()
       done;
@@ -143,8 +155,9 @@ let summary_to_string s =
   let buf = Buffer.create 1024 in
   let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   p "coverage-guided differential fuzz\n";
-  p "  seed=%d runs=%d minimize=%b inject-misfold=%b\n" s.s_config.seed
-    s.s_config.runs s.s_config.minimize s.s_config.inject_misfold;
+  p "  seed=%d runs=%d minimize=%b inject-misfold=%b mode=%s\n" s.s_config.seed
+    s.s_config.runs s.s_config.minimize s.s_config.inject_misfold
+    (Exec.mode_name s.s_config.mode);
   p "  executed %d scenarios (%d non-executable mutants skipped)\n"
     s.s_executed s.s_skipped;
   p "  corpus entries: %d\n" s.s_corpus;
@@ -168,13 +181,18 @@ let summary_to_string s =
       fs);
   Buffer.contents buf
 
-let replay ~dir =
+let replay ?(mode = Exec.Rebuild) ~dir () =
+  let ctx =
+    match mode with
+    | Exec.Rebuild -> None
+    | Exec.Persistent -> Some (Exec.make_ctx ())
+  in
   List.map
     (fun (name, parsed) ->
       match parsed with
       | Error e -> (name, [ "parse: " ^ e ])
       | Ok sc -> (
-        match Exec.run sc with
+        match Exec.run ?ctx sc with
         | Error e -> (name, [ "execution: " ^ e ])
         | Ok outcome ->
           let problems =

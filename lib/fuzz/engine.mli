@@ -15,10 +15,14 @@ type config = {
   inject_misfold : bool;
       (** arm {!Giantsan_core.Folding.set_fault} with [Overstate_last 1]
           for the run — the fuzzer-finds-a-real-bug self-test *)
+  mode : Exec.mode;
+      (** execution profile: rebuild a sanitizer per exec, or snapshot once
+          and restore between execs ({!Exec.Persistent}). Summaries are
+          byte-identical between modes except for the config line. *)
 }
 
 val default_config : config
-(** 2000 runs, seed 0, minimize on, no injected bug. *)
+(** 2000 runs, seed 0, minimize on, no injected bug, rebuild mode. *)
 
 type finding = {
   f_id : string;
@@ -50,8 +54,11 @@ val summary_to_string : summary -> string
 (** Deterministic rendering (no timestamps, no wall-clock): two runs with
     the same config produce byte-identical output. *)
 
-val replay : dir:string -> (string * string list) list
+val replay :
+  ?mode:Exec.mode -> dir:string -> unit -> (string * string list) list
 (** Replay every corpus file in [dir]: parse it, execute it across all
     tools, and collect problems (parse errors, label drift, divergences).
     An empty problem list for every file means the regression corpus is
-    green. *)
+    green. [mode] defaults to {!Exec.Rebuild}; persistent-mode replay must
+    produce the identical problem list (the snapshot/restore acceptance
+    check the CI leg byte-compares). *)

@@ -10,11 +10,13 @@ type divergence =
   | False_positive of Harness.tool
   | Dominance_violation
   | Family_split
+  | Pac_dominance_violation
 
 let divergence_name = function
   | False_positive tool -> "false-positive:" ^ Harness.tool_name tool
   | Dominance_violation -> "dominance-violation"
   | Family_split -> "family-split"
+  | Pac_dominance_violation -> "pac-dominance-violation"
 
 type outcome = {
   truth : bool;
@@ -28,6 +30,7 @@ let tool_tag = function
   | Harness.Asan -> "AS"
   | Harness.Asanmm -> "AM"
   | Harness.Lfp -> "LF"
+  | Harness.Pac -> "PA"
 
 (* The counters whose magnitude says something about which paths a run
    exercised. [errors] is deliberately absent: report kinds cover it with
@@ -45,8 +48,40 @@ let feature_counters (c : Counters.t) =
     ("ps", c.Counters.poison_segments);
   ]
 
-let run_tool tool scenario =
-  let san = Harness.make_sanitizer tool in
+(* {1 Execution modes}
+
+   [Rebuild] is the classic profile: a fresh sanitizer per (tool, scenario)
+   pair, paying full construction — arena, shadow plane, tables — for every
+   exec. [Persistent] is the ReZZan-style fuzz profile: one long-lived
+   sanitizer per tool, snapshotted pristine once, restored after every exec
+   (incremental shadow re-poisoning via the dirty-segment journal, PAC salt
+   rollback). Restoring counters too makes the two modes event-count — and
+   therefore feature- and verdict- — identical. *)
+
+type mode = Rebuild | Persistent
+
+let mode_name = function Rebuild -> "rebuild" | Persistent -> "persistent"
+
+let mode_of_name s =
+  match String.lowercase_ascii (String.trim s) with
+  | "rebuild" -> Some Rebuild
+  | "persistent" -> Some Persistent
+  | _ -> None
+
+type ctx = { c_sans : (Harness.tool * San.t) list }
+
+let make_ctx () =
+  {
+    c_sans =
+      List.map
+        (fun tool ->
+          let san = Harness.make_sanitizer tool in
+          san.San.snapshot ();
+          (tool, san))
+        Harness.all_tools;
+  }
+
+let run_tool_on san tool scenario =
   let reports = Scenario.run_reports san scenario in
   let tag = tool_tag tool in
   let kind_features =
@@ -71,6 +106,17 @@ let run_tool tool scenario =
   in
   (reports <> [], kind_features @ counter_features @ [ path_feature ])
 
+let run_tool ?ctx tool scenario =
+  match ctx with
+  | None -> run_tool_on (Harness.make_sanitizer tool) tool scenario
+  | Some c ->
+    let san = List.assoc tool c.c_sans in
+    (* restore even when the scenario dies mid-exec (unallocated slot,
+       arena exhaustion): the next exec must still start pristine *)
+    Fun.protect
+      ~finally:(fun () -> san.San.restore ())
+      (fun () -> run_tool_on san tool scenario)
+
 (* Folding degrees the scenario's allocations put into the shadow: cheap to
    recompute from the sizes, and exactly the encoding surface a mutated
    size explores. *)
@@ -85,11 +131,13 @@ let degree_features scenario =
          | _ -> None)
        scenario.Scenario.sc_steps)
 
-let run scenario =
+let run ?ctx scenario =
   match
     let truth = Scenario.ground_truth scenario in
     let results =
-      List.map (fun tool -> (tool, run_tool tool scenario)) Harness.all_tools
+      List.map
+        (fun tool -> (tool, run_tool ?ctx tool scenario))
+        Harness.all_tools
     in
     let verdicts = List.map (fun (tool, (v, _)) -> (tool, v)) results in
     let verdict tool = List.assoc tool verdicts in
@@ -101,8 +149,19 @@ let run scenario =
       @ (if verdict Harness.Asan && not (verdict Harness.Giantsan) then
            [ Dominance_violation ]
          else [])
+      @ (if verdict Harness.Asan <> verdict Harness.Asanmm then
+           [ Family_split ]
+         else [])
       @
-      if verdict Harness.Asan <> verdict Harness.Asanmm then [ Family_split ]
+      (* The PAC-aware expectation: exact signed bounds subsume redzone
+         granularity, so PAC must see everything GiantSan sees. The
+         legitimate asymmetry runs only the other way — PAC detecting a
+         stale use after quarantine recycling (or a far jump past the
+         redzone) where the shadow-based tools see plausible live state —
+         and ground truth already labels those buggy, so a PAC detection
+         there is a correct verdict, never a finding. *)
+      if verdict Harness.Giantsan && not (verdict Harness.Pac) then
+        [ Pac_dominance_violation ]
       else []
     in
     let features =

@@ -14,6 +14,14 @@ type divergence =
           checking must dominate instruction-level checking *)
   | Family_split
       (** ASan and ASan-- disagree; they share one runtime and may never *)
+  | Pac_dominance_violation
+      (** GiantSan detected, PAC stayed silent — PAC's exact signed bounds
+          subsume redzone granularity, so it must see everything GiantSan
+          sees. The converse (PAC detecting where GiantSan is silent —
+          use-after-free once the quarantine has recycled the block, or an
+          overflow jumping clean past the redzone) is the tagged scheme's
+          legitimate edge, labelled buggy by ground truth, and deliberately
+          {e not} a divergence. *)
 
 val divergence_name : divergence -> string
 
@@ -24,9 +32,32 @@ type outcome = {
   features : string list;  (** coverage features observed during the run *)
 }
 
-val run : Giantsan_bugs.Scenario.t -> (outcome, string) result
+(** {1 Execution modes (the fuzz-mode profile)} *)
+
+type mode =
+  | Rebuild  (** fresh sanitizer per (tool, scenario): full construction *)
+  | Persistent
+      (** one long-lived sanitizer per tool, snapshot once, restore after
+          every exec — incremental shadow re-poisoning via the dirty-segment
+          journal, PAC salt rollback. Event-count-identical to [Rebuild],
+          so verdicts, features and coverage are byte-identical too. *)
+
+val mode_name : mode -> string
+val mode_of_name : string -> mode option
+
+type ctx
+(** Persistent-mode execution context: the per-tool long-lived sanitizers
+    and their pristine snapshots. *)
+
+val make_ctx : unit -> ctx
+(** Build one sanitizer per tool and snapshot each pristine. *)
+
+val run : ?ctx:ctx -> Giantsan_bugs.Scenario.t -> (outcome, string) result
 (** [Error _] when the scenario is not executable (unallocated-slot use or
-    arena exhaustion); such inputs are skipped, not treated as findings. *)
+    arena exhaustion); such inputs are skipped, not treated as findings.
+    With [?ctx] the run executes in persistent mode: each tool's sanitizer
+    is restored to its pristine snapshot afterwards, even when the scenario
+    dies mid-exec. *)
 
 val diverges : Giantsan_bugs.Scenario.t -> bool
 (** Does the scenario currently produce at least one divergence? (The

@@ -98,6 +98,16 @@ let create config =
       r
     end
   in
+  (* LFP keeps no metadata beyond the allocator's own object index, so the
+     heap snapshot already carries its whole world. *)
+  let snapshot, restore =
+    San.snapshot_slot
+      ~cap:(fun () ->
+        (Memsim.Heap.snapshot heap, San.counters_copy counters))
+      ~put:(fun (hs, cs) ->
+        Memsim.Heap.restore heap hs;
+        San.counters_restore counters cs)
+  in
   let san = {
     San.name;
     heap;
@@ -116,6 +126,8 @@ let create config =
           ~addr:(cache.San.cache_base + off) ~width);
     flush_cache = (fun _ -> None);
     supports_operation_level = true;
+    snapshot;
+    restore;
   }
   in
   San.Registry.register san;

@@ -38,3 +38,11 @@ let blit t ~src ~dst ~len =
   check_range t src len;
   check_range t dst len;
   Bytes.blit t.data src t.data dst len
+
+type snapshot = Bytes.t
+
+let snapshot t = Bytes.copy t.data
+
+let restore t s =
+  assert (Bytes.length s = t.size);
+  Bytes.blit s 0 t.data 0 t.size

@@ -26,3 +26,11 @@ val fill : t -> addr:int -> len:int -> int -> unit
 
 val blit : t -> src:int -> dst:int -> len:int -> unit
 (** [blit] is [memmove] (overlap-safe). *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+(** Copy of the arena contents (fuzz-mode restore point). *)
+
+val restore : t -> snapshot -> unit
+(** Blit a snapshot back over the arena. Must come from this arena. *)

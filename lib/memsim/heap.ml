@@ -187,6 +187,73 @@ let find_object t addr =
   if addr < 0 || addr >= Arena.size t.arena then None
   else Oracle.owner t.oracle addr
 
+(* {1 Snapshot / restore (the fuzz-mode profile)}
+
+   Everything the allocator can mutate is captured: arena bytes, oracle
+   flags + owner map, quarantine FIFO, the free cache (deep-copied — its
+   cells are mutable refs), the scalar cursors, and — the subtle part —
+   the [status] field of every reachable [Memobj.t]. Objects are shared by
+   reference between the owner map, the quarantine queue and caller-held
+   pointers, so restoring the maps alone would leave an object recycled
+   after the snapshot still claiming [Recycled]; the snapshot therefore
+   records (object, status) pairs for everything reachable and [restore]
+   writes the statuses back. Objects allocated after the snapshot become
+   unreachable on restore and their status no longer matters. *)
+
+type snapshot = {
+  s_arena : Arena.snapshot;
+  s_oracle : Oracle.snapshot;
+  s_quarantine : Quarantine.snapshot;
+  s_free_cache : (int * int list) list;
+  s_brk : int;
+  s_next_id : int;
+  s_live_bytes : int;
+  s_pressure_flushes : int;
+  s_oom_countdown : int;
+  s_statuses : (Memobj.t * Memobj.status) list;
+}
+
+let snapshot t =
+  let seen = Hashtbl.create 64 in
+  let note acc (o : Memobj.t) =
+    if Hashtbl.mem seen o.Memobj.id then acc
+    else begin
+      Hashtbl.add seen o.Memobj.id ();
+      (o, o.Memobj.status) :: acc
+    end
+  in
+  let q = Quarantine.snapshot t.quarantine in
+  let statuses = Oracle.fold_owners t.oracle note [] in
+  let statuses = List.fold_left note statuses (Quarantine.queued q) in
+  {
+    s_arena = Arena.snapshot t.arena;
+    s_oracle = Oracle.snapshot t.oracle;
+    s_quarantine = q;
+    s_free_cache =
+      Hashtbl.fold (fun len cell acc -> (len, !cell) :: acc) t.free_cache [];
+    s_brk = t.brk;
+    s_next_id = t.next_id;
+    s_live_bytes = t.live_bytes;
+    s_pressure_flushes = t.pressure_flushes;
+    s_oom_countdown = t.oom_countdown;
+    s_statuses = statuses;
+  }
+
+let restore t s =
+  Arena.restore t.arena s.s_arena;
+  Oracle.restore t.oracle s.s_oracle;
+  Quarantine.restore t.quarantine s.s_quarantine;
+  Hashtbl.reset t.free_cache;
+  List.iter
+    (fun (len, bases) -> Hashtbl.add t.free_cache len (ref bases))
+    s.s_free_cache;
+  t.brk <- s.s_brk;
+  t.next_id <- s.s_next_id;
+  t.live_bytes <- s.s_live_bytes;
+  t.pressure_flushes <- s.s_pressure_flushes;
+  t.oom_countdown <- s.s_oom_countdown;
+  List.iter (fun ((o : Memobj.t), st) -> o.Memobj.status <- st) s.s_statuses
+
 let free t ptr =
   if ptr = 0 then Error Free_null
   else

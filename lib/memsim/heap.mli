@@ -82,6 +82,23 @@ val set_evict_hook : t -> (Memobj.t -> unit) -> unit
     same duty as [free_outcome.evicted] on the normal path). Default:
     [ignore]. *)
 
+type snapshot
+
+val snapshot : t -> snapshot
+(** Capture everything the allocator can mutate — arena bytes, oracle
+    state + owner map, quarantine FIFO, free cache, the scalar cursors
+    ([brk], id counter, live bytes, pressure flushes) and the mutable
+    [status] of every reachable object (objects are shared by reference
+    across the owner map, the quarantine and caller-held pointers, so the
+    statuses must be recorded explicitly). The fuzz-mode restore point. *)
+
+val restore : t -> snapshot -> unit
+(** Rewind the heap to a snapshot taken from this heap. Objects allocated
+    after the snapshot become unreachable; statuses of snapshot-time
+    objects are written back, so a block freed-and-recycled since the
+    snapshot is live again afterwards. The evict hook is not part of the
+    snapshot — it belongs to the wrapping runtime, not the heap state. *)
+
 val chaos_oom_after : t -> int -> unit
 (** Fault-injection hook: arm a countdown so the [n]-th subsequent [malloc]
     (0-based) raises [Out_of_memory] regardless of arena state, then

@@ -59,3 +59,17 @@ let set_owner t ~lo ~hi obj =
 let owner t addr =
   check t addr (addr + 1);
   t.owners.(addr / 8)
+
+let fold_owners t f acc =
+  Array.fold_left
+    (fun acc slot -> match slot with Some o -> f acc o | None -> acc)
+    acc t.owners
+
+type snapshot = { s_flags : Bytes.t; s_owners : Memobj.t option array }
+
+let snapshot t = { s_flags = Bytes.copy t.flags; s_owners = Array.copy t.owners }
+
+let restore t s =
+  assert (Bytes.length s.s_flags = t.size);
+  Bytes.blit s.s_flags 0 t.flags 0 t.size;
+  Array.blit s.s_owners 0 t.owners 0 (Array.length t.owners)

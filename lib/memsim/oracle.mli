@@ -30,3 +30,16 @@ val set_owner : t -> lo:int -> hi:int -> Memobj.t option -> unit
 
 val owner : t -> int -> Memobj.t option
 (** The object whose block covers [addr], if any. *)
+
+val fold_owners : t -> ('a -> Memobj.t -> 'a) -> 'a -> 'a
+(** Fold over every owner slot holding an object, segment order. An object
+    spanning k segments is visited k times — callers dedupe by id (the heap
+    snapshot does, to record each reachable object's status once). *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+(** Copy of the byte states and the owner map (fuzz-mode restore point). *)
+
+val restore : t -> snapshot -> unit
+(** Reinstate a snapshot. Must come from this oracle. *)

@@ -39,3 +39,24 @@ let bypasses t = t.bypasses
 
 let ids t =
   List.map (fun (o : Memobj.t) -> o.Memobj.id) (List.of_seq (Queue.to_seq t.queue))
+
+type snapshot = {
+  s_queue : Memobj.t list;  (* oldest first *)
+  s_held : int;
+  s_bypasses : int;
+}
+
+let snapshot t =
+  {
+    s_queue = List.of_seq (Queue.to_seq t.queue);
+    s_held = t.held;
+    s_bypasses = t.bypasses;
+  }
+
+let queued s = s.s_queue
+
+let restore t s =
+  Queue.clear t.queue;
+  List.iter (fun o -> Queue.push o t.queue) s.s_queue;
+  t.held <- s.s_held;
+  t.bypasses <- s.s_bypasses

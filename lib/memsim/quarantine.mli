@@ -37,3 +37,18 @@ val bypasses : t -> int
     evicting every older entry — i.e. how often a single block exceeded the
     whole budget and the budget was overridden to preserve the detection
     window. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+(** Capture the FIFO contents, held-byte count and bypass counter (the
+    queued [Memobj.t]s are shared, not copied — the heap snapshot records
+    their mutable statuses separately). *)
+
+val queued : snapshot -> Memobj.t list
+(** The objects captured in a snapshot, oldest first — the heap snapshot
+    walks these to record statuses of quarantined objects no owner slot
+    references anymore. *)
+
+val restore : t -> snapshot -> unit
+(** Reinstate a snapshot. Must come from this quarantine. *)

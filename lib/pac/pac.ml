@@ -135,6 +135,33 @@ let drop t ~pick =
     Hashtbl.remove t.sigs base;
     Some base
 
+(* Fuzz-mode restore: the table entries are immutable records, so a shallow
+   Hashtbl.copy detaches the snapshot completely. Rolling back [next_salt]
+   is what makes a restored run re-issue the very same salts — and thus the
+   same tags — as a fresh context would, keeping persistent-mode verdicts
+   byte-identical to rebuild mode. *)
+type snapshot = {
+  s_sigs : (int, entry) Hashtbl.t;
+  s_next_salt : int;
+  s_signs : int;
+  s_auths : int;
+}
+
+let snapshot t =
+  {
+    s_sigs = Hashtbl.copy t.sigs;
+    s_next_salt = t.next_salt;
+    s_signs = t.signs;
+    s_auths = t.auths;
+  }
+
+let restore t s =
+  Hashtbl.reset t.sigs;
+  Hashtbl.iter (fun b e -> Hashtbl.add t.sigs b e) s.s_sigs;
+  t.next_salt <- s.s_next_salt;
+  t.signs <- s.s_signs;
+  t.auths <- s.s_auths
+
 let audit t =
   List.find_map
     (fun base ->

@@ -118,6 +118,19 @@ val drop : t -> pick:int -> int option
 (** Remove the [pick]-th live signature without a free — models a stolen
     strip. Subsequent authentications fail [Stale]. *)
 
+(** {1 Snapshot / restore (the fuzz-mode profile)} *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+(** Capture the signature table, salt counter and metadata-event counters. *)
+
+val restore : t -> snapshot -> unit
+(** Rewind to a snapshot from this context. Rolling the salt counter back
+    makes a restored run re-issue the same salts — hence the same tags — a
+    fresh context would, so persistent-mode verdicts stay byte-identical to
+    rebuild mode. *)
+
 val audit : t -> string option
 (** Recompute every stored PAC from its salt; [Some detail] on the first
     mismatch (ascending base order). Catches {!forge} but not {!drop} —

@@ -115,6 +115,16 @@ let create_exposed ?key config =
       r
     end
   in
+  let snapshot, restore =
+    San.snapshot_slot
+      ~cap:(fun () ->
+        (Memsim.Heap.snapshot heap, Pac.snapshot pac,
+         San.counters_copy counters))
+      ~put:(fun (hs, ps, cs) ->
+        Memsim.Heap.restore heap hs;
+        Pac.restore pac ps;
+        San.counters_restore counters cs)
+  in
   let san =
     {
       San.name;
@@ -137,6 +147,8 @@ let create_exposed ?key config =
             ~addr:(cache.San.cache_base + off) ~width);
       flush_cache = (fun _ -> None);
       supports_operation_level = true;
+      snapshot;
+      restore;
     }
   in
   San.Registry.register san;

@@ -80,16 +80,16 @@ type plane =
   | Sigs of Giantsan_pac.Pac.t
   | Plain
 
-let create_exposed id heap =
+let create_exposed ?pac_key id heap =
   match id with
   | Giantsan ->
     let san, shadow = Giantsan_core.Gs_runtime.create_exposed heap in
     (san, Shadow shadow)
   | Pac ->
-    let san, sigs = Giantsan_pac.Pac_runtime.create_exposed heap in
+    let san, sigs = Giantsan_pac.Pac_runtime.create_exposed ?key:pac_key heap in
     (san, Sigs sigs)
   | Asan -> (Giantsan_asan.Asan_runtime.create heap, Plain)
   | Lfp -> (Giantsan_lfp.Lfp_runtime.create heap, Plain)
   | Native -> (Giantsan_sanitizer.Native.create heap, Plain)
 
-let create id heap = fst (create_exposed id heap)
+let create ?pac_key id heap = fst (create_exposed ?pac_key id heap)

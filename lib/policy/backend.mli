@@ -44,11 +44,19 @@ type plane =
   | Plain  (** no injectable metadata plane (ASan/LFP/Native here) *)
 
 val create_exposed :
+  ?pac_key:int ->
   id ->
   Giantsan_memsim.Heap.config ->
   Giantsan_sanitizer.Sanitizer.t * plane
 (** Build a fresh, fully private runtime for [id] (own heap, own
-    metadata), plus its plane. *)
+    metadata), plus its plane. [pac_key] seeds the PA key when [id] is
+    {!Pac} (ignored by the other backends, defaults to
+    {!Giantsan_pac.Pac.default_key}) — the service plane derives one per
+    tenant so a signature table forged under one tenant's key never
+    authenticates under another's. *)
 
 val create :
-  id -> Giantsan_memsim.Heap.config -> Giantsan_sanitizer.Sanitizer.t
+  ?pac_key:int ->
+  id ->
+  Giantsan_memsim.Heap.config ->
+  Giantsan_sanitizer.Sanitizer.t

@@ -169,3 +169,18 @@ let downshift t ~current =
       Backend.all
   in
   best t cheaper
+
+(* The ladder's return direction: a tenant that has proven itself over N
+   consecutive clean windows climbs back toward the coverage it was
+   originally assigned. [ceiling] (that original assignment) bounds the
+   climb — the budget arithmetic of [assign] stays valid because no
+   tenant ever exceeds what it was billed for. *)
+let upshift t ~current ~ceiling =
+  let costlier =
+    List.filter
+      (fun b ->
+        Backend.overhead b > Backend.overhead current +. eps
+        && Backend.overhead b <= Backend.overhead ceiling +. eps)
+      Backend.all
+  in
+  best t costlier

@@ -53,3 +53,10 @@ val downshift : spec -> current:Backend.id -> Backend.id option
     not consulted — shedding overhead is the point); [None] at the
     cheapest rung, where the caller's only remaining move is quarantine.
     The default weights walk asan → pac → giantsan → native. *)
+
+val upshift : spec -> current:Backend.id -> ceiling:Backend.id -> Backend.id option
+(** The ladder's return direction: the best-scoring backend strictly
+    costlier than [current] but no costlier than [ceiling] (the tenant's
+    original assignment, so the [assign] budget arithmetic stays valid);
+    [None] when [current] is already at or above the ceiling. The service
+    loop calls this after [upshift_after] consecutive clean windows. *)

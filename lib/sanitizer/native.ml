@@ -3,6 +3,15 @@ module Memsim = Giantsan_memsim
 let create config =
   let heap = Memsim.Heap.create config in
   let counters = Counters.create () in
+  (* No metadata plane: restoring the heap and counters is the whole job. *)
+  let snapshot, restore =
+    Sanitizer.snapshot_slot
+      ~cap:(fun () ->
+        (Memsim.Heap.snapshot heap, Sanitizer.counters_copy counters))
+      ~put:(fun (hs, cs) ->
+        Memsim.Heap.restore heap hs;
+        Sanitizer.counters_restore counters cs)
+  in
   let san = {
     Sanitizer.name = "Native";
     heap;
@@ -26,6 +35,8 @@ let create config =
     cached_access = (fun _ ~off:_ ~width:_ -> None);
     flush_cache = (fun _ -> None);
     supports_operation_level = false;
+    snapshot;
+    restore;
   }
   in
   Sanitizer.Registry.register san;

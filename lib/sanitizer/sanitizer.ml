@@ -126,7 +126,32 @@ type t = {
   cached_access : cache -> off:int -> width:int -> Report.t option;
   flush_cache : cache -> Report.t option;
   supports_operation_level : bool;
+  snapshot : unit -> unit;
+  restore : unit -> unit;
 }
+
+(* Single-slot snapshot plumbing shared by every runtime constructor: [cap]
+   captures whatever backend state the tool owns, [put] reinstates it.
+   One slot is all the fuzz-mode profile needs — each exec restores to the
+   same pristine point — and re-snapshotting simply overwrites it. *)
+let snapshot_slot ~cap ~put =
+  let slot = ref None in
+  let snapshot () = slot := Some (cap ()) in
+  let restore () =
+    match !slot with
+    | None -> invalid_arg "Sanitizer.restore: no snapshot taken"
+    | Some s -> put s
+  in
+  (snapshot, restore)
+
+let counters_copy c =
+  let s = Counters.create () in
+  Counters.add s c;
+  s
+
+let counters_restore c s =
+  Counters.reset c;
+  Counters.add c s
 
 let record_error t = function
   | None -> None

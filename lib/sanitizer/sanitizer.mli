@@ -86,10 +86,38 @@ type t = {
           the loop. No-op for non-caching tools. *)
   supports_operation_level : bool;
       (** whether region checks are O(1) (drives check-merging decisions) *)
+  snapshot : unit -> unit;
+      (** Fuzz-mode profile: capture the full sanitizer state — heap (arena,
+          oracle, quarantine, object statuses), metadata plane (shadow with
+          a dirty-segment journal armed, or the PAC signature table and salt
+          counter) and counters — into the tool's single restore slot,
+          overwriting any previous snapshot. *)
+  restore : unit -> unit;
+      (** Rewind to the snapshot: the heap state is reinstated, shadow-based
+          tools re-poison only the segments dirtied since (the journal),
+          PAC rolls back its salt counter and signature table, native only
+          restores the heap. Counters are restored too, so a restored exec
+          is event-count-identical to one on a freshly built sanitizer.
+          Raises [Invalid_argument] if no snapshot was taken. *)
 }
 
 val record_error : t -> Report.t option -> Report.t option
 (** Count an error if one was produced (helper for implementers). *)
+
+val snapshot_slot :
+  cap:(unit -> 's) -> put:('s -> unit) -> (unit -> unit) * (unit -> unit)
+(** Single-slot snapshot plumbing for runtime constructors:
+    [snapshot_slot ~cap ~put] is [(snapshot, restore)] where [snapshot]
+    stores [cap ()] (overwriting any previous capture) and [restore]
+    applies [put] to it — raising [Invalid_argument] before the first
+    snapshot. *)
+
+val counters_copy : Counters.t -> Counters.t
+(** A detached copy of a counter record (snapshot side). *)
+
+val counters_restore : Counters.t -> Counters.t -> unit
+(** [counters_restore live saved] overwrites [live] with [saved]'s values
+    (restore side). *)
 
 val plain_malloc :
   Giantsan_memsim.Heap.t ->

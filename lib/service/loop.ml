@@ -18,6 +18,7 @@ type config = {
   chaos : (int * Fault.shadow_fault * int) option;
   audit_every : int;
   report_every : int;
+  upshift_after : int;
 }
 
 let default_config =
@@ -34,6 +35,7 @@ let default_config =
     chaos = None;
     audit_every = 8;
     report_every = 0;
+    upshift_after = 4;
   }
 
 type tenant_summary = {
@@ -64,6 +66,7 @@ type outcome = {
   o_chaos : (int * string) option;
   o_faults : (int * string) list;
   o_downshifts : (int * string) list;
+  o_upshifts : (int * string) list;
   o_dumps : (int * string list) list;
   o_recorders : (int * string list) list;
 }
@@ -131,13 +134,20 @@ let run ?progress cfg =
   let dumps = ref [] in
   let faults = ref [] in
   let downshifts = ref [] in
+  let upshifts = ref [] in
   let chaos_note = ref None in
+  (* consecutive clean windows per tenant, for the ladder's return
+     direction: [upshift_after] of them earn a climb back toward the
+     tenant's original assignment (the [backends] array, which is the
+     ceiling [Policy.upshift] honours) *)
+  let clean_windows = Array.make cfg.tenants 0 in
   (* Escalation endpoint: without a policy a third consecutive breach
      quarantines; with one, the tenant first walks the downshift ladder —
      a fresh runtime on a cheaper backend, state back to Healthy, streak
      restarted — and only quarantines once it breaches at the cheapest
      rung (PartiSan's degrade-coverage-before-degrading-service move). *)
   let punish t =
+    clean_windows.(Tenant.id t) <- 0;
     let streak = Tenant.breach_streak t + 1 in
     Tenant.set_breach_streak t streak;
     let quarantine () =
@@ -241,7 +251,27 @@ let run ?progress cfg =
               if Tenant.state t <> Tenant.Healthy then begin
                 Tenant.set_state t Tenant.Healthy;
                 Tenant.record_state t Tenant.Healthy
-              end
+              end;
+              (* the ladder's return direction: [upshift_after]
+                 consecutive clean windows earn a climb back toward the
+                 tenant's original assignment (repartition emits the
+                 [Tenant_backend] recorder event) *)
+              let id = Tenant.id t in
+              clean_windows.(id) <- clean_windows.(id) + 1;
+              match cfg.policy with
+              | Some spec
+                when cfg.upshift_after > 0
+                     && clean_windows.(id) >= cfg.upshift_after -> (
+                match
+                  Policy.upshift spec ~current:(Tenant.backend t)
+                    ~ceiling:backends.(id)
+                with
+                | Some backend ->
+                  upshifts := (id, Backend.name backend) :: !upshifts;
+                  Tenant.repartition t ~backend;
+                  clean_windows.(id) <- 0
+                | None -> ())
+              | _ -> ()
             end
             else begin
               List.iter (Tenant.record_breach t) breaches;
@@ -290,6 +320,7 @@ let run ?progress cfg =
     o_chaos = !chaos_note;
     o_faults = List.rev !faults;
     o_downshifts = List.rev !downshifts;
+    o_upshifts = List.rev !upshifts;
     o_dumps = List.rev !dumps;
     o_recorders =
       Array.to_list (Array.map (fun t -> (Tenant.id t, Tenant.dump t)) tenants);

@@ -38,12 +38,17 @@ type config = {
           tenant's private planes at the start of that tick *)
   audit_every : int;  (** selfcheck cadence in ticks; 0 disables *)
   report_every : int;  (** live-summary cadence in ticks; 0 disables *)
+  upshift_after : int;
+      (** policy-gated ladder return: after this many consecutive clean
+          windows a downshifted tenant is repartitioned onto
+          [Policy.upshift] of its current backend, bounded by its
+          original assignment; 0 disables *)
 }
 
 val default_config : config
 (** 4 tenants, seed 7, 64 ticks, quantum 32, arrivals 24/tick, jobs 1,
     no SLO, no policy, {!Tenant.default_config}, no chaos, audit every 8
-    ticks. *)
+    ticks, upshift after 4 clean windows. *)
 
 type tenant_summary = {
   s_id : int;
@@ -76,6 +81,9 @@ type outcome = {
   o_faults : (int * string) list;  (** audit detections, in tick order *)
   o_downshifts : (int * string) list;
       (** policy downshifts [(tenant, new backend)], in tick order *)
+  o_upshifts : (int * string) list;
+      (** policy upshifts [(tenant, new backend)], in tick order — the
+          ladder's return direction after [upshift_after] clean windows *)
   o_dumps : (int * string list) list;
       (** flight-recorder NDJSON dumped at each quarantine/fault *)
   o_recorders : (int * string list) list;

@@ -78,10 +78,21 @@ type t = {
   mutable rec_seq : int;  (* recorder sequence, lifetime *)
   mutable lat_span_mark : int;  (* windows closed at the last watchdog poll *)
   mutable misfold : Folding.fault option;
+  t_pac_key : int;  (* per-tenant PA key, stable across repartitions *)
 }
 
+(* Each tenant signs under its own PA key, derived from (seed, id) with
+   the same odd-constant mixing the request streams use. A signature
+   table forged under one tenant's key never authenticates under
+   another's, and [repartition] reuses the key so a tenant downshifted
+   away from PAC and later upshifted back keeps its signing identity. *)
+let derive_pac_key ~seed ~id =
+  (Pac.default_key lxor (seed * 0x9E3779B1) lxor ((id + 1) * 0x85EBCA77))
+  land max_int
+
 let create ~id ~seed (config : config) =
-  let san, plane = Backend.create_exposed config.backend config.heap in
+  let pac_key = derive_pac_key ~seed ~id in
+  let san, plane = Backend.create_exposed ~pac_key config.backend config.heap in
   {
     t_id = id;
     cfg = config;
@@ -112,9 +123,11 @@ let create ~id ~seed (config : config) =
     rec_seq = 0;
     lat_span_mark = 0;
     misfold = None;
+    t_pac_key = pac_key;
   }
 
 let id t = t.t_id
+let pac_key t = t.t_pac_key
 let backend t = t.backend
 let state t = t.state
 let set_state t s = t.state <- s
@@ -386,6 +399,10 @@ let plant_shadow_fault t shadow fault =
   | Fault.Misfold { degree } ->
     t.misfold <- Some (Folding.Overstate_last degree);
     Printf.sprintf "misfold armed d=%d" degree
+  | Fault.Journal_drop { pick } -> (
+    match Shadow_mem.chaos_drop_journal shadow ~pick with
+    | Some (lo, len) -> Printf.sprintf "journal entry [%d, +%d) stolen" lo len
+    | None -> "journal drop absorbed (no snapshot armed)")
 
 let plant_sig_fault sigs fault =
   let forge ~pick ~mask =
@@ -402,6 +419,8 @@ let plant_sig_fault sigs fault =
     | None -> "stolen strip absorbed (no live signatures)")
   | Fault.Misfold { degree } ->
     Printf.sprintf "misfold absorbed (no folded shadow) d=%d" degree
+  | Fault.Journal_drop { pick } ->
+    Printf.sprintf "journal drop absorbed (no dirty journal) p=%d" pick
 
 let plant_fault t fault =
   match t.plane with
@@ -443,7 +462,9 @@ let repartition t ~backend =
   Array.fill t.slots 0 n_slots None;
   t.misfold <- None;
   t.breach_streak <- 0;
-  let san, plane = Backend.create_exposed backend t.cfg.heap in
+  let san, plane =
+    Backend.create_exposed ~pac_key:t.t_pac_key backend t.cfg.heap
+  in
   t.backend <- backend;
   t.san <- san;
   t.plane <- plane;

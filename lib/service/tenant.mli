@@ -43,6 +43,12 @@ val create : id:int -> seed:int -> config -> t
 
 val id : t -> int
 
+val pac_key : t -> int
+(** The tenant's private PA key, derived from [(seed, id)] at {!create}
+    and stable across {!repartition} — tenants on the PAC backend sign
+    under it, so a signature forged under one tenant's key never
+    authenticates under another's. *)
+
 val backend : t -> Giantsan_policy.Backend.id
 (** The backend currently serving this tenant (changes on
     {!repartition}). *)

@@ -3,11 +3,25 @@ type t = {
   fill : int;
   mutable loads : int;
   mutable stores : int;
+  (* Dirty-segment journal (fuzz-mode restore): while armed, every store
+     kernel appends the clamped range it touched, so [restore] can blit the
+     snapshot back over only the segments that changed since — the
+     incremental-repoisoning trick that makes per-exec reset O(dirty)
+     instead of O(arena). Newest entry first. *)
+  mutable journal : (int * int) list;  (* (lo, len) *)
+  mutable armed : bool;
 }
 
 let create ~segments ~fill =
   assert (segments > 0 && fill >= 0 && fill < 256);
-  { bytes = Bytes.make segments (Char.chr fill); fill; loads = 0; stores = 0 }
+  {
+    bytes = Bytes.make segments (Char.chr fill);
+    fill;
+    loads = 0;
+    stores = 0;
+    journal = [];
+    armed = false;
+  }
 
 let of_heap heap ~fill =
   create ~segments:(Giantsan_memsim.Heap.segment_count heap) ~fill
@@ -62,18 +76,34 @@ let peek_word t p = word_of_bytes t p
 
 let word_byte w k = Int64.to_int (Int64.logand (Int64.shift_right_logical w (8 * k)) 0xFFL)
 
+(* Journal a clamped (in-arena) range. The newest-entry containment check
+   absorbs the common poison/unpoison-the-same-block churn without growing
+   the journal; overlapping entries are harmless (restore blits twice). *)
+let note_dirty t lo len =
+  if t.armed && len > 0 then
+    match t.journal with
+    | (l, n) :: _ when lo >= l && lo + len <= l + n -> ()
+    | _ -> t.journal <- (lo, len) :: t.journal
+
 let set t p v =
   assert (v >= 0 && v < 256);
   t.stores <- t.stores + 1;
-  if p >= 0 && p < Bytes.length t.bytes then Bytes.set t.bytes p (Char.chr v)
+  if p >= 0 && p < Bytes.length t.bytes then begin
+    note_dirty t p 1;
+    Bytes.set t.bytes p (Char.chr v)
+  end
 
 (* Uncounted store: the chaos engine's corruption primitive. Bypassing the
    stores counter is the point — an injected fault must not perturb the
    event-count-derived cost model, or the determinism and bench gates would
-   see phantom work. *)
+   see phantom work. It still lands in the journal: a corrupted segment is
+   dirty, and restore must repair it. *)
 let poke t p v =
   assert (v >= 0 && v < 256);
-  if p >= 0 && p < Bytes.length t.bytes then Bytes.set t.bytes p (Char.chr v)
+  if p >= 0 && p < Bytes.length t.bytes then begin
+    note_dirty t p 1;
+    Bytes.set t.bytes p (Char.chr v)
+  end
 
 (* The batched kernels below clamp once, count the clamped length once, and
    then run an unchecked fill/blit: the bounds checks are hoisted out of the
@@ -88,6 +118,7 @@ let fill_range t ~lo ~hi v =
   let len = hi' - lo' in
   if len > 0 then begin
     t.stores <- t.stores + len;
+    note_dirty t lo' len;
     Bytes.unsafe_fill t.bytes lo' len (Char.chr v)
   end
 
@@ -99,6 +130,7 @@ let blit_pattern t ~lo ~pattern ~pat_off ~len =
   let len' = min (len - cut_lo) (Bytes.length t.bytes - lo') in
   if len' > 0 then begin
     t.stores <- t.stores + len';
+    note_dirty t lo' len';
     Bytes.unsafe_blit pattern pat_off' t.bytes lo' len'
   end
 
@@ -108,3 +140,36 @@ let stores t = t.stores
 let reset_counters t =
   t.loads <- 0;
   t.stores <- 0
+
+(* {1 Snapshot / restore (the fuzz-mode profile)} *)
+
+type snapshot = { s_bytes : Bytes.t; s_loads : int; s_stores : int }
+
+let snapshot t =
+  t.journal <- [];
+  t.armed <- true;
+  { s_bytes = Bytes.copy t.bytes; s_loads = t.loads; s_stores = t.stores }
+
+let restore t s =
+  assert (Bytes.length s.s_bytes = Bytes.length t.bytes);
+  List.iter
+    (fun (lo, len) -> Bytes.blit s.s_bytes lo t.bytes lo len)
+    t.journal;
+  t.journal <- [];
+  t.loads <- s.s_loads;
+  t.stores <- s.s_stores
+
+let journal_entries t = List.length t.journal
+
+let journal_segments t =
+  List.fold_left (fun a (_, len) -> a + len) 0 t.journal
+
+let chaos_drop_journal t ~pick =
+  let n = List.length t.journal in
+  if n = 0 then None
+  else begin
+    let k = ((pick mod n) + n) mod n in
+    let victim = List.nth t.journal k in
+    t.journal <- List.filteri (fun i _ -> i <> k) t.journal;
+    Some victim
+  end

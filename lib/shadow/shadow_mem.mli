@@ -73,3 +73,38 @@ val loads : t -> int
 
 val stores : t -> int
 val reset_counters : t -> unit
+
+(** {1 Snapshot / restore — the fuzz-mode execution profile}
+
+    [snapshot] copies the whole shadow plane once and arms a dirty-segment
+    journal: from then on every store kernel ({!set}, {!poke},
+    {!fill_range}, {!blit_pattern}) records the clamped range it touched.
+    [restore] blits the snapshot back over only the journaled ranges — the
+    incremental re-poisoning that makes per-exec reset cost O(dirty
+    segments) instead of O(arena) — and restores the load/store counters so
+    a restored run is event-count-identical to a fresh one. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+(** Capture the shadow plane and counters; clears and (re)arms the dirty
+    journal. *)
+
+val restore : t -> snapshot -> unit
+(** Blit the snapshot back over every journaled range, restore the
+    counters, and clear the journal (it stays armed for the next exec).
+    The snapshot must come from this [t]. *)
+
+val journal_entries : t -> int
+(** Ranges currently journaled (diagnostics and the chaos plane). *)
+
+val journal_segments : t -> int
+(** Total journaled segments, with multiplicity — the work {!restore} will
+    do, which is what the fuzz-mode throughput model charges for. *)
+
+val chaos_drop_journal : t -> pick:int -> (int * int) option
+(** Fault-injection hook: remove the [pick]-th journaled range (newest
+    first, modulo length) so the next {!restore} under-repairs and leaves
+    stale segments behind — which the shadow-vs-oracle selfcheck must then
+    flag. Returns the dropped range, or [None] when the journal is empty.
+    Nothing outside fault injection may use this. *)

@@ -618,6 +618,72 @@ let run ?(config = default_config) ~seed ~steps () =
         frees = ctx.frees;
       }
 
+(* The fuzz-mode restore audit. Three audited phases over one operation
+   stream: [steps] ops, snapshot (real world via [San.snapshot], harness
+   state saved alongside — the model is immutable, so saving it is keeping
+   the reference), [steps] more ops of drift (frees, reallocs, quarantine
+   churn), then restore and reinstate the saved harness state. The audit
+   immediately after the restore is the ISSUE's byte-equality obligation:
+   the model at the snapshot point IS what a from-scratch rebuild replaying
+   phase one reaches (it was audited equal step by step), so a passing
+   audit proves the restored shadow plane, arena bytes, quarantine FIFO
+   and counters are byte-equal to that rebuild. The third phase proves the
+   restored world also behaves like a fresh one going forward. *)
+let check_restore ?(config = default_config) ~seed ~steps () =
+  let rng = Rng.create seed in
+  let ctx = make_ctx config in
+  let result = ref None in
+  let phase name n =
+    for i = 0 to n - 1 do
+      if !result = None then begin
+        let d, go = step ctx rng in
+        try
+          go ();
+          audit ctx
+        with Mismatch m ->
+          result := Some { d_step = i; d_op = name ^ ": " ^ d; d_detail = m }
+      end
+    done
+  in
+  (try audit ctx
+   with Mismatch m ->
+     result := Some { d_step = -1; d_op = "initial state"; d_detail = m });
+  phase "pre-snapshot" steps;
+  if !result = None then begin
+    ctx.san.San.snapshot ();
+    let saved_model = ctx.model
+    and saved_slots = Array.copy ctx.slots
+    and saved_flushes = ctx.flushes_seen
+    and saved_reports = ctx.reports
+    and saved_allocs = ctx.allocs
+    and saved_frees = ctx.frees in
+    phase "post-snapshot drift" steps;
+    if !result = None then begin
+      ctx.san.San.restore ();
+      ctx.model <- saved_model;
+      Array.blit saved_slots 0 ctx.slots 0 n_slots;
+      ctx.flushes_seen <- saved_flushes;
+      ctx.reports <- saved_reports;
+      ctx.allocs <- saved_allocs;
+      ctx.frees <- saved_frees;
+      (try audit ctx
+       with Mismatch m ->
+         result :=
+           Some { d_step = -1; d_op = "post-restore audit"; d_detail = m });
+      phase "post-restore" steps
+    end
+  end;
+  match !result with
+  | Some d -> Diverged d
+  | None ->
+    Equivalent
+      {
+        steps = 3 * steps;
+        reports = ctx.reports;
+        allocs = ctx.allocs;
+        frees = ctx.frees;
+      }
+
 (* Run clean for [steps] operations, plant the mutation, and demand the
    very next audit diverges. Returns [(killed, detail)]. *)
 let check_mutation ?(config = default_config) ~seed ~steps m =

@@ -53,6 +53,17 @@ val run :
 (** Deterministic in [seed]: same seed, same operation stream, same
     outcome. *)
 
+val check_restore :
+  ?config:Giantsan_memsim.Heap.config -> seed:int -> steps:int -> unit ->
+  outcome
+(** The fuzz-mode restore audit: [steps] audited operations, snapshot (the
+    real world via [San.snapshot], the harness state saved alongside),
+    [steps] more audited operations of drift (frees, reallocs, quarantine
+    churn), then restore — and the very next full-state audit must pass,
+    proving the restored world is byte-equal to the state a from-scratch
+    rebuild replaying the first phase reaches. A final [steps] audited
+    operations prove the restored world also behaves like a fresh one. *)
+
 val check_mutation :
   ?config:Giantsan_memsim.Heap.config ->
   seed:int ->

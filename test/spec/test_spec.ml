@@ -21,6 +21,9 @@ module Rng = Giantsan_util.Rng
 module Model = Giantsan_spec.Model
 module Ref_kernel = Giantsan_spec.Ref_kernel
 module Refine = Giantsan_spec.Refine
+module Backend = Giantsan_policy.Backend
+module Pac = Giantsan_pac.Pac
+module Counters = Giantsan_sanitizer.Counters
 
 let qt = Alcotest.test_case
 
@@ -544,6 +547,141 @@ let test_memcpy_memset_edges_all_backends =
           end)
         backends)
 
+(* ------------------------------------------------------------------ *)
+(* Fuzz-mode restore = rebuild, all five backends (satellite 4)        *)
+(* ------------------------------------------------------------------ *)
+
+(* The fuzz-mode contract, as a property: running prefix -> snapshot ->
+   arbitrary drift -> restore -> continuation must land byte-identical —
+   arena, metadata plane, quarantine FIFO, every counter — to running
+   prefix -> continuation on a fresh runtime. The snapshot is taken
+   mid-quarantine-churn (a deterministic warm phase frees into the FIFO
+   first), and the comparison covers the PAC salt counter: a restored
+   context must re-issue the same salts a fresh one would. *)
+
+let restore_config =
+  { Heap.arena_size = 4096; redzone = 16; quarantine_budget = 512 }
+
+let restore_slots = 12
+
+let run_random_ops san (slots : (int * int) option array) rng n =
+  for _ = 1 to n do
+    match Rng.int rng 6 with
+    | 0 | 1 -> (
+      let size = Rng.int_in rng 0 96 in
+      try
+        let obj = san.San.malloc size in
+        slots.(Rng.int rng restore_slots) <-
+          Some (obj.Memobj.base, obj.Memobj.size)
+      with Out_of_memory -> ())
+    | 2 -> (
+      let i = Rng.int rng restore_slots in
+      match slots.(i) with
+      | Some (base, _) ->
+        ignore (san.San.free base);
+        (* sometimes keep the stale slot: later frees become double-frees
+           and later accesses UAFs, so error verdicts are compared too *)
+        if Rng.int rng 3 < 2 then slots.(i) <- None
+      | None -> ())
+    | 3 -> (
+      match slots.(Rng.int rng restore_slots) with
+      | Some (base, size) ->
+        let off = Rng.int_in rng (-8) (size + 8) in
+        let width = Rng.pick rng [| 1; 2; 4; 8 |] in
+        ignore (san.San.access ~base ~addr:(base + off) ~width)
+      | None -> ())
+    | _ -> (
+      match slots.(Rng.int rng restore_slots) with
+      | Some (base, size) ->
+        let lo = base + Rng.int_in rng (-8) size in
+        ignore (san.San.check_region ~lo ~hi:(lo + Rng.int_in rng 0 40))
+      | None -> ())
+  done
+
+let state_fingerprint san plane =
+  let b = Buffer.create 8192 in
+  let heap = san.San.heap in
+  let arena = Heap.arena heap in
+  for i = 0 to Arena.size arena - 1 do
+    Buffer.add_char b (Char.chr (Arena.load arena ~addr:i ~width:1))
+  done;
+  Buffer.add_string b
+    (String.concat ","
+       (List.map
+          (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+          (Counters.to_assoc san.San.counters)));
+  Buffer.add_string b
+    (Printf.sprintf "|loads=%d stores=%d live=%d flushes=%d byp=%d held=%d q=%s"
+       (san.San.shadow_loads ()) (san.San.shadow_stores ())
+       (Heap.live_bytes heap) (Heap.pressure_flushes heap)
+       (Heap.quarantine_bypasses heap) (Heap.quarantine_held heap)
+       (String.concat ","
+          (List.map string_of_int (Heap.quarantine_ids heap))));
+  (match plane with
+  | Backend.Shadow m ->
+    Buffer.add_string b "|shadow=";
+    for p = 0 to Shadow_mem.segments m - 1 do
+      Buffer.add_char b (Char.chr (Shadow_mem.peek m p))
+    done
+  | Backend.Sigs p ->
+    Buffer.add_string b "|sigs=";
+    List.iter
+      (fun base ->
+        Buffer.add_string b
+          (Printf.sprintf "%d:%d:%d;" base
+             (Option.value ~default:(-1) (Pac.salt_of p ~base))
+             (Option.value ~default:(-1) (Pac.pac_of p ~base))))
+      (Pac.bases p)
+  | Backend.Plain -> ());
+  Buffer.contents b
+
+let run_restore_procedure ~with_restore id seed =
+  let san, plane = Backend.create_exposed id restore_config in
+  let slots = Array.make restore_slots None in
+  (* deterministic warm churn: mallocs then frees, so the snapshot below
+     lands while the quarantine FIFO is mid-rotation *)
+  let warm = Rng.create (seed + 901) in
+  run_random_ops san slots warm 24;
+  let prefix = Rng.create (seed + 17) in
+  run_random_ops san slots prefix 40;
+  if with_restore then begin
+    san.San.snapshot ();
+    let saved = Array.copy slots in
+    let churn = Rng.create (seed + 5555) in
+    run_random_ops san slots churn 40;
+    san.San.restore ();
+    Array.blit saved 0 slots 0 restore_slots
+  end;
+  let cont = Rng.create (seed + 33) in
+  run_random_ops san slots cont 40;
+  (* the fast/slow partition must survive the rewind on the folded shadow *)
+  (if id = Backend.Giantsan then
+     let c = san.San.counters in
+     if c.Counters.fast_checks + c.Counters.slow_checks
+        <> c.Counters.region_checks
+     then
+       QCheck.Test.fail_reportf
+         "giantsan fast/slow partition broken after restore: %d + %d <> %d"
+         c.Counters.fast_checks c.Counters.slow_checks
+         c.Counters.region_checks);
+  state_fingerprint san plane
+
+let test_restore_equals_rebuild_all_backends =
+  q ~count:40 "restore-after-random-ops = rebuild-from-scratch, 5 backends"
+    QCheck.small_int
+    (fun seed ->
+      List.for_all
+        (fun id ->
+          let restored = run_restore_procedure ~with_restore:true id seed in
+          let rebuilt = run_restore_procedure ~with_restore:false id seed in
+          if String.equal restored rebuilt then true
+          else
+            QCheck.Test.fail_reportf
+              "%s: restored state differs from a from-scratch rebuild \
+               (seed %d)"
+              (Backend.name id) seed)
+        Backend.all)
+
 let () =
   Alcotest.run "giantsan-spec"
     [
@@ -571,5 +709,6 @@ let () =
       ( "spec-refine",
         test_lockstep_default :: test_lockstep_budget0 :: test_lockstep_pressure
         :: test_memcpy_memset_edges_all_backends
+        :: test_restore_equals_rebuild_all_backends
         :: List.map mutation_kill_test Refine.all_mutations );
     ]

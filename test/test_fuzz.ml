@@ -125,7 +125,8 @@ let test_shrink_uninteresting_input () =
 (* --- engine ------------------------------------------------------------- *)
 
 let small_config =
-  { Engine.runs = 150; seed = 11; minimize = false; inject_misfold = false }
+  { Engine.runs = 150; seed = 11; minimize = false; inject_misfold = false;
+    mode = Exec.Rebuild }
 
 let test_engine_deterministic () =
   let a = Engine.run small_config and b = Engine.run small_config in
@@ -151,7 +152,8 @@ let test_engine_beats_random_baseline () =
 let test_misfold_found_and_shrunk () =
   let s =
     Engine.run
-      { Engine.runs = 800; seed = 42; minimize = true; inject_misfold = true }
+      { Engine.runs = 800; seed = 42; minimize = true; inject_misfold = true;
+        mode = Exec.Rebuild }
   in
   Alcotest.(check bool) "fault plan restored" true
     (Folding.current_fault () = None);
@@ -170,7 +172,7 @@ let test_misfold_found_and_shrunk () =
 (* --- regression corpus -------------------------------------------------- *)
 
 let test_regressions_replay_green () =
-  let results = Engine.replay ~dir:regressions_dir in
+  let results = Engine.replay ~dir:regressions_dir () in
   Alcotest.(check bool) "corpus is not empty" true (List.length results > 0);
   List.iter
     (fun (name, problems) ->
@@ -184,7 +186,7 @@ let test_misfold_regressions_guard_the_bug () =
     List.filter
       (fun (name, _) ->
         String.length name >= 7 && String.sub name 0 7 = "misfold")
-      (Engine.replay ~dir:regressions_dir)
+      (Engine.replay ~dir:regressions_dir ())
   in
   Alcotest.(check int) "two misfold guards present" 2 (List.length guards);
   Folding.with_fault (Some (Folding.Overstate_last 1)) (fun () ->

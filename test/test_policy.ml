@@ -128,6 +128,29 @@ let test_downshift_ladder () =
   Alcotest.(check (option string)) "native is the last rung" None
     (step Backend.Native)
 
+let test_upshift_ladder () =
+  let d = Policy.default in
+  let climb current ceiling =
+    Option.map Backend.name (Policy.upshift d ~current ~ceiling)
+  in
+  (* the climb jumps straight to the best-scoring backend under the
+     ceiling (pac scores highest under the default weights) ... *)
+  Alcotest.(check (option string)) "native -> pac under an asan ceiling"
+    (Some "pac")
+    (climb Backend.Native Backend.Asan);
+  Alcotest.(check (option string)) "native -> pac under a pac ceiling"
+    (Some "pac")
+    (climb Backend.Native Backend.Pac);
+  (* ... never past the ceiling ... *)
+  Alcotest.(check (option string)) "native -> giantsan under its ceiling"
+    (Some "giantsan")
+    (climb Backend.Native Backend.Giantsan);
+  (* ... and stops once the tenant is back where it was assigned *)
+  Alcotest.(check (option string)) "at the ceiling there is no climb" None
+    (climb Backend.Pac Backend.Pac);
+  Alcotest.(check (option string)) "above the ceiling there is no climb" None
+    (climb Backend.Asan Backend.Pac)
+
 (* ------------------------------------------------------------------ *)
 (* The acceptance scenario: breach -> downshift, not quarantine        *)
 (* ------------------------------------------------------------------ *)
@@ -196,6 +219,53 @@ let test_downshift_run_is_deterministic () =
   Alcotest.(check string) "same bytes across jobs 1/2" (render (cfg 1))
     (render (cfg 2))
 
+(* The ladder's round trip, pinned to a floor a pac tenant misses but
+   native meets: tenant-0 walks pac -> giantsan -> native under the
+   breaches, then a clean window on native earns the climb straight back
+   to its original pac assignment — recorded as an upshift and a
+   tenant_backend event, ending healthy on the backend it started on. *)
+let test_clean_windows_upshift () =
+  let spec =
+    match Policy.parse "budget=2.5,fallback=native" with
+    | Ok s -> s
+    | Error e -> failwith e
+  in
+  let floor =
+    match Slo.parse "ops=12400000" with Ok s -> s | Error e -> failwith e
+  in
+  let o =
+    Loop.run
+      {
+        Loop.default_config with
+        Loop.tenants = 2;
+        ticks = 64;
+        slo = floor;
+        policy = Some spec;
+        upshift_after = 1;
+        tenant_cfg =
+          { Tenant.default_config with Tenant.recorder_cap = 8192 };
+      }
+  in
+  Alcotest.(check bool) "tenant-0 downshifted first" true
+    (List.mem_assoc 0 o.Loop.o_downshifts);
+  Alcotest.(check (list (pair int string)))
+    "one upshift, straight back to pac"
+    [ (0, "pac") ]
+    o.Loop.o_upshifts;
+  let t0 = List.hd o.Loop.o_tenants in
+  Alcotest.(check string) "ended on its original assignment" "pac"
+    (Backend.name t0.Loop.s_backend);
+  Alcotest.(check bool) "ended healthy" true
+    (t0.Loop.s_state = Tenant.Healthy);
+  (* the recorder carries the climb as a tenant_backend event naming pac *)
+  let lines = List.assoc 0 o.Loop.o_recorders in
+  Alcotest.(check bool) "recorder has the pac tenant_backend event" true
+    (List.exists
+       (fun l ->
+         Helpers.contains l "\"ev\":\"tenant_backend\""
+         && Helpers.contains l "\"backend\":\"pac\"")
+       lines)
+
 let test_tenant_backend_event_recorded () =
   let spec =
     match Policy.parse "budget=2.5" with Ok s -> s | Error e -> failwith e
@@ -234,8 +304,12 @@ let suite =
         test_assign_head_gets_coverage;
       Helpers.qt "downshift walks asan/pac/giantsan/native" `Quick
         test_downshift_ladder;
+      Helpers.qt "upshift climbs back, bounded by the assignment" `Quick
+        test_upshift_ladder;
       Helpers.qt "breached tenant downshifts instead of quarantining" `Quick
         test_breach_downshifts_not_quarantines;
+      Helpers.qt "clean windows upshift back to the assignment" `Quick
+        test_clean_windows_upshift;
       Helpers.qt "policy runs stay byte-deterministic across jobs" `Quick
         test_downshift_run_is_deterministic;
       Helpers.qt "repartition records a tenant_backend event" `Quick

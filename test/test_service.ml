@@ -8,6 +8,8 @@ module Tenant = Giantsan_service.Tenant
 module Slo = Giantsan_service.Slo
 module Fault = Giantsan_chaos.Fault
 module Export = Giantsan_telemetry.Export
+module Backend = Giantsan_policy.Backend
+module Pac = Giantsan_pac.Pac
 
 let base_cfg =
   { Loop.default_config with Loop.tenants = 3; seed = 13; ticks = 40 }
@@ -284,6 +286,38 @@ let test_quantum_halved_when_degraded =
       Alcotest.(check bool) "ended quarantined" true
         (s.Loop.s_state = Tenant.Quarantined))
 
+(* Per-tenant PA keys: two tenants of the same service run derive
+   distinct keys, the key survives repartition (a tenant downshifted off
+   PAC and upshifted back keeps its signing identity), and a pointer
+   signed under tenant A's key fails authentication — as a forge, not a
+   stale — under tenant B's, even at the same salt-counter position. *)
+let test_per_tenant_pac_keys =
+  Helpers.qt "cross-tenant PAC forge isolation" `Quick (fun () ->
+      let cfg = { Tenant.default_config with Tenant.backend = Backend.Pac } in
+      let ta = Tenant.create ~id:0 ~seed:13 cfg in
+      let tb = Tenant.create ~id:1 ~seed:13 cfg in
+      Alcotest.(check bool)
+        "keys differ" true
+        (Tenant.pac_key ta <> Tenant.pac_key tb);
+      let key_before = Tenant.pac_key ta in
+      Tenant.repartition ta ~backend:Backend.Giantsan;
+      Tenant.repartition ta ~backend:Backend.Pac;
+      Alcotest.(check int) "key survives repartition" key_before
+        (Tenant.pac_key ta);
+      let pa = Pac.create ~key:(Tenant.pac_key ta) () in
+      let pb = Pac.create ~key:(Tenant.pac_key tb) () in
+      let base = 4096 in
+      let tagged_a = Pac.sign pa ~base in
+      ignore (Pac.sign pb ~base);
+      (match Pac.authenticate pb tagged_a ~base with
+      | Error (Pac.Forged _) -> ()
+      | Ok _ ->
+        Alcotest.fail "tenant A's signature authenticated under tenant B's key"
+      | Error Pac.Stale -> Alcotest.fail "expected forged, got stale");
+      match Pac.authenticate pa tagged_a ~base with
+      | Ok _ -> ()
+      | Error f -> Alcotest.fail ("self-auth failed: " ^ Pac.failure_to_string f))
+
 let suite =
   ( "service",
     [
@@ -299,4 +333,5 @@ let suite =
       test_bench_roundtrip;
       test_slo_parse;
       test_quantum_halved_when_degraded;
+      test_per_tenant_pac_keys;
     ] )
